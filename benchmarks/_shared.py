@@ -1,0 +1,82 @@
+"""Shared machinery for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures from a
+shared synthetic trace, times the analysis with pytest-benchmark, prints
+a *paper vs. measured* comparison and archives it under
+``benchmarks/results/``.
+
+The trace scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.5 —
+~140k tickets, ~95k servers).  Absolute thresholds like Table V's
+N=100/200/500 are scaled alongside so the reported frequencies stay
+comparable; EXPERIMENTS.md records a full ``scale=1.0`` run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Tuple
+
+from repro.analysis import report
+from repro.config import paper_scenario
+from repro.simulation import calibration
+from repro.simulation.trace import SyntheticTrace, generate_trace
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20170626"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@lru_cache(maxsize=2)
+def bench_trace(scale: float = BENCH_SCALE, seed: int = BENCH_SEED) -> SyntheticTrace:
+    """The shared trace every bench analyzes (generated once)."""
+    return generate_trace(paper_scenario(scale=scale, seed=seed))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and archive it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def comparison(name: str, rows: Iterable[Tuple[str, object, object]], note: str = "") -> None:
+    text = report.comparison_table(rows, title=name)
+    if note:
+        text += f"\nnote: {note}"
+    emit(name, text)
+
+
+@contextlib.contextmanager
+def override_calibration(**overrides):
+    """Temporarily override calibration constants (ablation benches)."""
+    saved = {}
+    for key, value in overrides.items():
+        if not hasattr(calibration, key):
+            raise AttributeError(f"no calibration constant named {key!r}")
+        saved[key] = getattr(calibration, key)
+        setattr(calibration, key, value)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            setattr(calibration, key, value)
+
+
+def pct(value: float) -> str:
+    return report.format_percent(value)
+
+
+__all__ = [
+    "BENCH_SCALE",
+    "BENCH_SEED",
+    "bench_trace",
+    "emit",
+    "comparison",
+    "override_calibration",
+    "pct",
+]

@@ -1,0 +1,50 @@
+"""Ablation — lazy/batched operators vs. prompt responders.
+
+The long-RT regime of Figure 9 (MTTR of weeks, 10 % of tickets waiting
+months) comes from the behaviour model: pool-review batching and the
+fault-tolerance-breeds-laziness multiplier.  Ablating both yields the
+short MTTRs earlier studies report — and shows the paper's point that
+the RT is behavioural, not technical.
+"""
+
+from benchmarks._shared import comparison, override_calibration, pct
+from repro.analysis import response
+from repro.config import paper_scenario
+from repro.core.types import FOTCategory
+from repro.simulation.trace import generate_trace
+
+ABLATION_SCALE = 0.08
+
+
+def _prompt_operators_trace():
+    with override_calibration(
+        RT_BATCHING_BASE=0.0,
+        RT_BATCHING_FT_GAIN=0.0,
+        RT_FT_BASE=1.0,
+        RT_FT_GAIN=0.0,
+        TOP_LINE_REVIEW_DAYS=(0.0, 0.0),
+    ):
+        return generate_trace(paper_scenario(scale=ABLATION_SCALE, seed=780))
+
+
+def test_ablation_operators(benchmark):
+    baseline = generate_trace(paper_scenario(scale=ABLATION_SCALE, seed=780))
+    prompt = benchmark.pedantic(_prompt_operators_trace, rounds=1, iterations=1)
+
+    lazy = response.rt_distribution(baseline.dataset, FOTCategory.FIXING)
+    fast = response.rt_distribution(prompt.dataset, FOTCategory.FIXING)
+    comparison(
+        "ablation_operators",
+        [
+            ("median RT, lazy operators (days)", "6.1", f"{lazy.median_days:.1f}"),
+            ("median RT, prompt operators (days)", "-", f"{fast.median_days:.1f}"),
+            ("mean RT, lazy (days)", "42.2", f"{lazy.mean_days:.1f}"),
+            ("mean RT, prompt (days)", "-", f"{fast.mean_days:.1f}"),
+            ("RT > 140 d, lazy", pct(0.10), pct(lazy.tail_140d)),
+            ("RT > 140 d, prompt", "-", pct(fast.tail_140d)),
+        ],
+        note="prompt = no pool batching, no fault-tolerance laziness "
+             "multiplier, no long review cycles",
+    )
+    assert lazy.mean_days > 2 * fast.mean_days
+    assert lazy.tail_140d > fast.tail_140d

@@ -1,0 +1,40 @@
+"""Figure 10 — RT distribution per component class."""
+
+from benchmarks._shared import emit
+from repro.analysis import report, response
+from repro.core.types import ComponentClass
+
+
+def test_fig10_rt_by_component(benchmark, dataset):
+    by_class = benchmark.pedantic(
+        response.rt_by_component, args=(dataset,), kwargs={"min_tickets": 50},
+        rounds=3, iterations=1,
+    )
+    ranked = sorted(by_class.items(), key=lambda kv: kv[1].median_days)
+    rows = [
+        (cls.value, f"{stats.median_days:.2f}", f"{stats.mean_days:.1f}",
+         f"{stats.p90_days:.1f}", stats.n)
+        for cls, stats in ranked
+    ]
+    emit(
+        "fig10_rt_by_component",
+        report.format_table(
+            ["component", "median (d)", "mean (d)", "p90 (d)", "n"],
+            rows,
+            title="Figure 10 — RT per class "
+                  "(paper: SSD/misc shortest at hours; HDD/fan/memory "
+                  "longest at 7-18 days)",
+        ),
+    )
+    # Paper's ordering claims.
+    if ComponentClass.SSD in by_class:
+        assert by_class[ComponentClass.SSD].median_days < 2.0
+    assert by_class[ComponentClass.MISC].median_days < by_class[
+        ComponentClass.HDD
+    ].median_days
+    for slow in (ComponentClass.FAN, ComponentClass.MEMORY):
+        if slow in by_class:
+            assert (
+                by_class[slow].median_days
+                >= by_class[ComponentClass.HDD].median_days * 0.8
+            )

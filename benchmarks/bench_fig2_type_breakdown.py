@@ -1,0 +1,45 @@
+"""Figure 2 — failure-type mix for the four example component classes."""
+
+from benchmarks._shared import emit, pct
+from repro.analysis import overview, report
+from repro.core.types import ComponentClass
+from repro.simulation import calibration
+
+FIG2_CLASSES = (
+    ComponentClass.HDD,
+    ComponentClass.RAID_CARD,
+    ComponentClass.FLASH_CARD,
+    ComponentClass.MEMORY,
+)
+
+
+def _all_breakdowns(dataset):
+    return {
+        cls: overview.failure_type_breakdown(dataset, cls)
+        for cls in FIG2_CLASSES
+    }
+
+
+def test_fig2_type_breakdown(benchmark, dataset):
+    breakdowns = benchmark(_all_breakdowns, dataset)
+    blocks = []
+    for cls, shares in breakdowns.items():
+        target = calibration.TYPE_MIX[cls]
+        rows = [
+            (name, pct(target.get(name, 0.0)), pct(share))
+            for name, share in shares.items()
+        ]
+        blocks.append(
+            report.format_table(
+                ["type", "calibrated", "measured"],
+                rows,
+                title=f"Figure 2 ({cls.value})",
+            )
+        )
+    emit("fig2_type_breakdown", "\n\n".join(blocks))
+
+    # Headline shape: SMART-style alerts dominate drives, correctable
+    # DIMM errors dominate memory.
+    assert list(breakdowns[ComponentClass.HDD])[0] == "SMARTFail"
+    mem = breakdowns[ComponentClass.MEMORY]
+    assert mem["DIMMCE"] > mem["DIMMUE"]

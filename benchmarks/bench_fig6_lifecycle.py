@@ -1,0 +1,59 @@
+"""Figure 6 — normalized monthly failure rates over the lifecycle."""
+
+from benchmarks._shared import comparison, emit, pct
+from repro.analysis import lifecycle, report
+from repro.core.types import ComponentClass
+from repro.simulation import calibration
+
+
+def test_fig6_lifecycle(benchmark, trace, dataset):
+    curves = benchmark.pedantic(
+        lifecycle.lifecycle_summary,
+        args=(dataset, trace.inventory),
+        kwargs={"n_months": 48, "min_failures": 60},
+        rounds=3,
+        iterations=1,
+    )
+
+    blocks = []
+    for cls, curve in curves.items():
+        blocks.append(
+            f"{cls.value:<14} |{report.sparkline(curve.normalized_rate, 48)}|"
+        )
+    emit("fig6_lifecycle_shapes", "\n".join(blocks))
+
+    rows = []
+    hdd = curves[ComponentClass.HDD]
+    rows.append((
+        "HDD infant uplift (mo 0-3 vs 4-9)",
+        pct(calibration.PAPER_TARGETS["hdd_infant_uplift"]),
+        pct(lifecycle.infant_mortality_uplift(hdd)),
+    ))
+    if ComponentClass.RAID_CARD in curves:
+        rows.append((
+            "RAID failures in first 6 months",
+            pct(calibration.PAPER_TARGETS["raid_infant_share_6mo"]),
+            pct(curves[ComponentClass.RAID_CARD].share_before(6)),
+        ))
+    if ComponentClass.MOTHERBOARD in curves:
+        rows.append((
+            "motherboard failures after month 36",
+            pct(calibration.PAPER_TARGETS["motherboard_share_after_36mo"]),
+            pct(curves[ComponentClass.MOTHERBOARD].share_after(36)),
+        ))
+    if ComponentClass.FLASH_CARD in curves:
+        rows.append((
+            "flash failures in first 12 months",
+            pct(calibration.PAPER_TARGETS["flash_share_first_12mo"]),
+            pct(curves[ComponentClass.FLASH_CARD].share_before(12)),
+        ))
+    misc = curves[ComponentClass.MISC]
+    rows.append((
+        "misc month-0 rate vs steady state",
+        "extremely high",
+        f"{misc.normalized_rate[0] / max(misc.mean_rate(2, 12), 1e-9):.1f}x",
+    ))
+    comparison("fig6_lifecycle", rows)
+
+    assert lifecycle.infant_mortality_uplift(hdd) > 0
+    assert hdd.mean_rate(30, 42) > hdd.mean_rate(3, 9)

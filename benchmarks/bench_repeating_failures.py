@@ -1,0 +1,28 @@
+"""Section III-D — repeating failures and repair effectiveness."""
+
+from benchmarks._shared import BENCH_SCALE, comparison, pct
+from repro.analysis import repeating
+from repro.simulation import calibration
+
+
+def test_repeating_failures(benchmark, dataset):
+    stats = benchmark.pedantic(
+        repeating.repeating_stats, args=(dataset,), rounds=3, iterations=1
+    )
+    comparison(
+        "repeating_failures",
+        [
+            ("fixed components that never repeat", "> 85 %",
+             pct(stats.repeat_free_fraction)),
+            ("ever-failed servers with repeats",
+             pct(calibration.PAPER_TARGETS["repeating_server_share"]),
+             pct(stats.repeating_server_fraction)),
+            ("worst single server (failures, x scale)",
+             "400+", f"{stats.max_failures_single_server} "
+             f"(target ~{int(420 * max(BENCH_SCALE, 30/420))})"),
+        ],
+    )
+    assert stats.repeat_free_fraction > 0.85
+    assert 0.01 < stats.repeating_server_fraction < 0.12
+    # The flapping BBU server exists at every scale.
+    assert stats.max_failures_single_server >= 30

@@ -1,0 +1,26 @@
+"""Table I — FOT category breakdown (D_fixing / D_error / D_falsealarm)."""
+
+from benchmarks._shared import comparison, pct
+from repro.analysis import overview
+from repro.core.types import FOTCategory
+from repro.simulation import calibration
+
+
+def test_table1_categories(benchmark, dataset):
+    result = benchmark(overview.category_breakdown, dataset)
+    target = calibration.PAPER_TARGETS["category_split"]
+    comparison(
+        "table1_categories",
+        [
+            ("D_fixing (issue RO)", pct(target["d_fixing"]),
+             pct(result.fraction(FOTCategory.FIXING))),
+            ("D_error (decommission)", pct(target["d_error"]),
+             pct(result.fraction(FOTCategory.ERROR))),
+            ("D_falsealarm", pct(target["d_falsealarm"]),
+             pct(result.fraction(FOTCategory.FALSE_ALARM))),
+            ("total FOTs (x scale)", calibration.PAPER_TARGETS["total_fots"],
+             result.total),
+        ],
+    )
+    assert abs(result.fraction(FOTCategory.FIXING) - target["d_fixing"]) < 0.1
+    assert abs(result.fraction(FOTCategory.ERROR) - target["d_error"]) < 0.1

@@ -1,0 +1,18 @@
+"""Table II — failure percentage breakdown by component class."""
+
+from benchmarks._shared import comparison, pct
+from repro.analysis import overview
+from repro.simulation import calibration
+
+
+def test_table2_components(benchmark, dataset):
+    shares = benchmark(overview.component_breakdown, dataset)
+    rows = []
+    for cls, paper_share in calibration.COMPONENT_MIX.items():
+        rows.append((cls.value, pct(paper_share), pct(shares.get(cls, 0.0))))
+    comparison("table2_components", rows)
+    # The ranking's head must match the paper: HDD then miscellaneous.
+    ranked = list(shares)
+    assert ranked[0].value == "hdd"
+    assert ranked[1].value == "miscellaneous"
+    assert abs(shares[ranked[0]] - 0.8184) < 0.06

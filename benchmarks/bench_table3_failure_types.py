@@ -1,0 +1,17 @@
+"""Table III — failure-type registry with explanations."""
+
+from benchmarks._shared import emit
+from repro.analysis import overview, report
+
+
+def test_table3_failure_types(benchmark):
+    rows = benchmark(overview.table_iii)
+    text = report.format_table(
+        ["failure type", "component", "explanation"],
+        rows,
+        title="Table III — documented failure types",
+    )
+    emit("table3_failure_types", text)
+    names = {r[0] for r in rows}
+    # The paper's examples must all be present.
+    assert {"SMARTFail", "NotReady", "BBTFail", "DIMMCE", "DIMMUE"} <= names

@@ -1,0 +1,45 @@
+"""Table IV / Hypothesis 5 — rack-position chi-square results per DC.
+
+Statistical power grows with per-DC failed-server counts, so the bucket
+split approaches the paper's 10/4/10 as the bench scale approaches 1.0
+(see EXPERIMENTS.md for the full-scale run).
+"""
+
+from benchmarks._shared import comparison
+from repro.analysis import spatial
+
+
+def test_table4_spatial(benchmark, trace, dataset):
+    summary = benchmark.pedantic(
+        spatial.rack_position_tests,
+        args=(dataset, trace.inventory),
+        rounds=3,
+        iterations=1,
+    )
+    buckets = summary.bucket_counts()
+    comparison(
+        "table4_spatial",
+        [
+            ("p < 0.01", "10 of 24", f"{buckets['p<0.01']} of {summary.n_datacenters}"),
+            ("0.01 <= p < 0.05", "4 of 24",
+             f"{buckets['0.01<=p<0.05']} of {summary.n_datacenters}"),
+            ("p >= 0.05", "10 of 24", f"{buckets['p>=0.05']} of {summary.n_datacenters}"),
+        ],
+        note="power depends on per-DC volume; run with REPRO_BENCH_SCALE=1 "
+             "to match the paper's fleet size",
+    )
+    # Shape: some DCs reject, some don't (the paper's 60/40 split).
+    assert buckets["p>=0.05"] >= 1
+    rejected = buckets["p<0.01"] + buckets["0.01<=p<0.05"]
+    assert rejected >= 1
+
+    # Modern (post-2014) DCs are mostly uniform — the paper: ~90 % of
+    # them cannot be rejected at 0.02.
+    modern = [dc.name for dc in trace.fleet.datacenters if dc.is_modern]
+    tested_modern = [n for n in modern if n in summary.results]
+    if tested_modern:
+        not_rejected = sum(
+            1 for n in tested_modern
+            if not summary.results[n].reject_at(0.02)
+        )
+        assert not_rejected / len(tested_modern) >= 0.6

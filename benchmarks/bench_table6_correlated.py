@@ -1,0 +1,47 @@
+"""Table VI — correlated two-component failures on single servers."""
+
+from benchmarks._shared import BENCH_SCALE, comparison, emit, pct
+from repro.analysis import correlated, report
+from repro.core.timeutil import PAPER_TRACE_DAYS
+from repro.simulation import calibration
+
+
+def test_table6_correlated(benchmark, dataset):
+    stats = benchmark.pedantic(
+        correlated.component_pair_counts, args=(dataset,), rounds=3, iterations=1
+    )
+    rows = []
+    for (a, b), count in sorted(
+        stats.pair_counts.items(), key=lambda kv: kv[1], reverse=True
+    )[:15]:
+        paper = calibration.CORRELATED_PAIR_COUNTS.get(
+            (a, b), calibration.CORRELATED_PAIR_COUNTS.get((b, a), "-")
+        )
+        scaled = "-" if paper == "-" else f"{paper} x {BENCH_SCALE:g} = {paper * BENCH_SCALE:.0f}"
+        rows.append((f"{a.value} + {b.value}", scaled, count))
+    emit(
+        "table6_correlated_pairs",
+        report.format_table(
+            ["pair", "paper (scaled)", "measured"],
+            rows,
+            title="Table VI — correlated component pairs",
+        ),
+    )
+    comparison(
+        "table6_correlated",
+        [
+            ("servers with correlated pairs",
+             pct(calibration.PAPER_TARGETS["correlated_server_share"]),
+             pct(stats.correlated_server_fraction)),
+            ("pairs involving a misc report",
+             pct(calibration.PAPER_TARGETS["correlated_misc_share"]),
+             pct(stats.misc_share)),
+            ("HDD share of non-misc pairs", "nearly all",
+             pct(stats.hdd_share_of_non_misc)),
+            ("independence baseline (same-day)", "< 5 %",
+             pct(correlated.independence_baseline(dataset, PAPER_TRACE_DAYS))),
+        ],
+    )
+    assert stats.correlated_server_fraction < 0.05
+    assert stats.misc_share > 0.3
+    assert stats.hdd_share_of_non_misc > 0.5

@@ -1,0 +1,15 @@
+"""Benchmark fixtures: the shared synthetic trace."""
+
+import pytest
+
+from benchmarks._shared import bench_trace
+
+
+@pytest.fixture(scope="session")
+def trace():
+    return bench_trace()
+
+
+@pytest.fixture(scope="session")
+def dataset(trace):
+    return trace.dataset

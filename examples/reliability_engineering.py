@@ -1,0 +1,101 @@
+"""Case study: from failure tickets to reliability engineering numbers.
+
+The paper's analyses describe *what happened*; a reliability engineer
+then needs the classic derived quantities:
+
+1. Kaplan-Meier survival curves per component class (with censoring —
+   most components never fail in the window);
+2. annualized failure rates (AFR) per service year, the industry
+   headline (cf. the disk studies the paper cites);
+3. bootstrap confidence intervals on the headline statistics, so a
+   different fleet can be compared against the paper's numbers honestly;
+4. a detection-latency what-if: the active prober the FMS team was
+   building vs. today's log-based detection.
+
+Run:
+    python examples/reliability_engineering.py
+"""
+
+import numpy as np
+
+from repro import ComponentClass, FOTCategory, generate_paper_trace
+from repro.analysis import report, survival
+from repro.core.timeutil import DAY
+from repro.fms import probing
+from repro.stats import bootstrap
+
+
+def main() -> None:
+    trace = generate_paper_trace(scale=0.1, seed=1999)
+    dataset = trace.dataset
+    print(f"trace: {len(dataset)} tickets, {len(trace.fleet)} servers\n")
+
+    # --- 1. Survival curves -------------------------------------------------
+    rows = []
+    for cls in (ComponentClass.HDD, ComponentClass.MEMORY, ComponentClass.POWER):
+        try:
+            curve = survival.kaplan_meier(dataset, trace.inventory, cls)
+        except ValueError:
+            continue
+        rows.append((
+            cls.value,
+            curve.n_components,
+            curve.n_failures,
+            f"{curve.probability_beyond(12):.4f}",
+            f"{curve.probability_beyond(36):.4f}",
+        ))
+    print(report.format_table(
+        ["component", "population", "first failures", "S(1 y)", "S(3 y)"],
+        rows,
+        title="Kaplan-Meier survival (right-censored at window end)",
+    ))
+    print()
+
+    # --- 2. AFR per service year -------------------------------------------
+    table = survival.annualized_failure_rates(
+        dataset, trace.inventory, ComponentClass.HDD
+    )
+    print(report.format_table(
+        ["service year", "failures", "component-years", "AFR"],
+        [
+            (int(y), int(f), f"{e:.0f}", report.format_percent(a))
+            for y, f, e, a in zip(
+                table.years, table.failures, table.exposure_years, table.afr
+            )
+        ],
+        title="HDD annualized failure rate by service year "
+              "(wear-out makes it climb, as in Figure 6a)",
+    ))
+    print(f"overall HDD AFR: {report.format_percent(table.overall())}\n")
+
+    # --- 3. Bootstrap CIs on the paper's headline numbers --------------------
+    rng = np.random.default_rng(0)
+    fixing = dataset.of_category(FOTCategory.FIXING)
+    rts = fixing.response_times
+    rts = rts[~np.isnan(rts)] / DAY
+    median_ci = bootstrap.median_ci(rts, rng=rng)
+    n_fixing = len(fixing)
+    share_ci = bootstrap.fraction_ci(n_fixing, len(dataset), rng=rng)
+    print("bootstrap 95 % intervals vs. the paper:")
+    print(f"  median RT (days):  {median_ci}   (paper: 6.1)")
+    print(f"  D_fixing share:    {share_ci}   (paper: 0.703)")
+    print()
+
+    # --- 4. Detection what-if ------------------------------------------------
+    cold = probing.compare_detection(
+        1500, uses_per_day=2.0, probe_period_hours=4.0,
+        rng=np.random.default_rng(4),
+    )
+    print(
+        "detection what-if for a cold (2 uses/day) component:\n"
+        f"  log-based:  mean {cold.log_mean_latency_hours:.1f} h, "
+        f"p99 {cold.log_p99_latency_hours:.1f} h\n"
+        f"  4 h prober: mean {cold.probe_mean_latency_hours:.1f} h, "
+        f"p99 {cold.probe_p99_latency_hours:.1f} h\n"
+        "  -> the prober bounds the tail; log-based detection waits for "
+        "the workload that the failure is about to hurt"
+    )
+
+
+if __name__ == "__main__":
+    main()

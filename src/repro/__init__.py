@@ -1,0 +1,39 @@
+"""Reproduction of *What Can We Learn from Four Years of Data Center
+Hardware Failures?* (Wang, Zhang, Xu — DSN 2017).
+
+The package has two halves:
+
+* ``repro.core`` / ``repro.stats`` / ``repro.analysis`` implement the
+  paper's contribution — a complete failure-analysis toolkit over
+  failure operation tickets (FOTs).
+* ``repro.fleet`` / ``repro.simulation`` / ``repro.fms`` implement the
+  substrate the paper depends on — a data-center fleet, the failure
+  processes, and the Failure Management System — so a calibrated
+  synthetic four-year trace stands in for the proprietary dataset.
+
+Quickstart::
+
+    from repro import generate_paper_trace, analysis
+
+    trace = generate_paper_trace(scale=0.05, seed=7)
+    print(analysis.overview.category_breakdown(trace.dataset))
+"""
+
+from repro.core.dataset import FOTDataset
+from repro.core.ticket import FOT
+from repro.core.types import ComponentClass, FOTCategory
+from repro.simulation.trace import generate_paper_trace, generate_trace
+from repro import analysis, stats
+
+__all__ = [
+    "FOT",
+    "FOTDataset",
+    "ComponentClass",
+    "FOTCategory",
+    "analysis",
+    "stats",
+    "generate_paper_trace",
+    "generate_trace",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,72 @@
+"""The paper's analyses, one module per dimension.
+
+Every function takes a :class:`~repro.core.dataset.FOTDataset` (plus,
+where the paper normalizes by fleet metadata, an
+:class:`~repro.fleet.inventory.Inventory`) and returns plain dataclasses
+/ dicts / numpy arrays — no plotting; the benchmarks render them as the
+paper's tables and figure series.
+
+* :mod:`repro.analysis.overview` — Tables I/II/III, Figure 2.
+* :mod:`repro.analysis.temporal` — Figures 3/4, Hypotheses 1/2.
+* :mod:`repro.analysis.tbf` — Figure 5, Hypotheses 3/4, MTBF stats.
+* :mod:`repro.analysis.lifecycle` — Figure 6 monthly failure rates.
+* :mod:`repro.analysis.concentration` — Figure 7 failure concentration.
+* :mod:`repro.analysis.repeating` — Section III-D, Table VIII.
+* :mod:`repro.analysis.spatial` — Table IV, Figure 8, Hypothesis 5.
+* :mod:`repro.analysis.batch` — Table V batch-failure frequency r_N.
+* :mod:`repro.analysis.correlated` — Tables VI/VII.
+* :mod:`repro.analysis.response` — Figures 9/10/11, MTTR statistics.
+* :mod:`repro.analysis.report` — ASCII rendering of tables and series.
+
+Extension modules implement the tooling the paper *proposes* plus the
+derived views a reliability engineer needs:
+
+* :mod:`repro.analysis.mining` — the incident/correlation miner of
+  Section VII-B (stateless-FMS problem).
+* :mod:`repro.analysis.prediction` — the early-warning predictor of
+  Section VII-A, with a leakage-free evaluation harness.
+* :mod:`repro.analysis.survival` — Kaplan-Meier survival and annualized
+  failure rates (the disk-study view of Figure 6).
+* :mod:`repro.analysis.compare` — dataset-vs-dataset comparison for
+  validating a real ticket dump against the synthetic trace.
+* :mod:`repro.analysis.trends` — calendar-time stationarity checks
+  (the Section VII-C limitations, made quantitative).
+"""
+
+from repro.analysis import (
+    batch,
+    compare,
+    concentration,
+    correlated,
+    lifecycle,
+    mining,
+    overview,
+    prediction,
+    repeating,
+    report,
+    response,
+    spatial,
+    survival,
+    tbf,
+    temporal,
+    trends,
+)
+
+__all__ = [
+    "overview",
+    "temporal",
+    "tbf",
+    "lifecycle",
+    "concentration",
+    "repeating",
+    "spatial",
+    "batch",
+    "correlated",
+    "response",
+    "report",
+    "mining",
+    "prediction",
+    "survival",
+    "compare",
+    "trends",
+]

@@ -1,0 +1,97 @@
+"""Dataset overview — Tables I, II, III and Figure 2 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.dataset import FOTDataset
+from repro.core.failure_types import table_iii_rows
+from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+
+
+@dataclass(frozen=True)
+class CategoryBreakdown:
+    """Table I: share of FOTs per handling category."""
+
+    counts: Dict[FOTCategory, int]
+    fractions: Dict[FOTCategory, float]
+    total: int
+
+    def fraction(self, category: FOTCategory) -> float:
+        return self.fractions.get(category, 0.0)
+
+
+def category_breakdown(dataset: FOTDataset) -> CategoryBreakdown:
+    """Table I: D_fixing / D_error / D_falsealarm shares.
+
+    paper: 70.3 % / 28.0 % / 1.7 %.
+    """
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    counts = {cat: len(sub) for cat, sub in dataset.by_category().items()}
+    total = len(dataset)
+    for cat in FOTCategory:
+        counts.setdefault(cat, 0)
+    fractions = {cat: counts[cat] / total for cat in counts}
+    return CategoryBreakdown(counts=counts, fractions=fractions, total=total)
+
+
+def component_breakdown(dataset: FOTDataset) -> Dict[ComponentClass, float]:
+    """Table II: failure share per component class, over failures only
+    (D_fixing + D_error, excluding false alarms), sorted descending.
+
+    paper: HDD 81.84 %, miscellaneous 10.20 %, memory 3.06 %, ...
+    """
+    failures = dataset.failures()
+    if len(failures) == 0:
+        raise ValueError("no failures in dataset")
+    shares = {
+        cls: len(sub) / len(failures)
+        for cls, sub in failures.by_component().items()
+    }
+    return dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+
+
+def failure_type_breakdown(
+    dataset: FOTDataset, component: ComponentClass
+) -> Dict[str, float]:
+    """Figure 2: failure-type shares within one component class, over
+    failures only, sorted descending."""
+    subset = dataset.failures().of_component(component)
+    if len(subset) == 0:
+        raise ValueError(f"no failures for component {component}")
+    shares = {
+        name: len(sub) / len(subset)
+        for name, sub in subset.by_failure_type().items()
+    }
+    return dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+
+
+def detection_source_breakdown(dataset: FOTDataset) -> Dict[DetectionSource, float]:
+    """Share of tickets per detection source.
+
+    paper: agents detect ~90 % automatically (syslog + polling), ~10 %
+    are manual miscellaneous reports.
+    """
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    counts: Dict[DetectionSource, int] = {src: 0 for src in DetectionSource}
+    for ticket in dataset:
+        counts[ticket.source] += 1
+    return {src: counts[src] / len(dataset) for src in counts}
+
+
+def table_iii() -> List[Tuple[str, str, str]]:
+    """Table III: documented failure types with explanations."""
+    return table_iii_rows()
+
+
+__all__ = [
+    "CategoryBreakdown",
+    "category_breakdown",
+    "component_breakdown",
+    "failure_type_breakdown",
+    "detection_source_breakdown",
+    "table_iii",
+]

@@ -1,0 +1,184 @@
+"""Failure prediction — the early-warning tool the paper describes.
+
+Section VII-A: the hardware team "designed a tool to predict component
+failures a couple of days early, hoping the operators to react before
+the failure actually happens" — and then observes that operators ignore
+it.  This module implements such a predictor over the FOT stream and an
+evaluation harness, so the trade-off the paper discusses (high-precision
+warnings vs. operator attention) can be studied quantitatively.
+
+The predictor is intentionally classic: *warning-type* tickets
+(SMARTFail, DIMMCE, HighMaxBbRate, ...) predict a *fatal* failure of the
+same component class on the same server within a horizon.  Evaluation
+walks the trace in time order, so there is no look-ahead leakage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dataset import FOTDataset
+from repro.core.failure_types import REGISTRY
+from repro.core.ticket import FOT
+from repro.core.timeutil import DAY
+
+
+@dataclass(frozen=True)
+class Warning_:
+    """One emitted prediction: host X will see a fatal ``component``
+    failure within ``horizon_days`` of ``issued_at``."""
+
+    host_id: int
+    component: str
+    issued_at: float
+    trigger_fot_id: int
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Evaluation of the warning stream against what actually happened."""
+
+    n_warnings: int
+    n_hits: int
+    n_fatal_failures: int
+    n_fatal_covered: int
+    mean_lead_days: float
+
+    @property
+    def precision(self) -> float:
+        """Warnings followed by a fatal failure in the horizon."""
+        if self.n_warnings == 0:
+            raise ValueError("no warnings were issued")
+        return self.n_hits / self.n_warnings
+
+    @property
+    def recall(self) -> float:
+        """Fatal failures that had a warning in time."""
+        if self.n_fatal_failures == 0:
+            raise ValueError("no fatal failures to predict")
+        return self.n_fatal_covered / self.n_fatal_failures
+
+
+def warning_types() -> Set[str]:
+    """Failure types that are predictive alerts rather than hard stops."""
+    return {name for name, entry in REGISTRY.items() if not entry.fatal}
+
+
+def fatal_types() -> Set[str]:
+    return {name for name, entry in REGISTRY.items() if entry.fatal}
+
+
+def issue_warnings(
+    dataset: FOTDataset,
+    *,
+    min_warnings: int = 1,
+    dedup_days: float = 14.0,
+) -> List[Warning_]:
+    """Emit predictions from warning-type tickets.
+
+    A (host, component) emits a prediction once it has accumulated
+    ``min_warnings`` warning tickets; re-warnings within ``dedup_days``
+    are suppressed so operators are not spammed (the paper's FMS prides
+    itself on low false-alarm noise).
+    """
+    if min_warnings < 1:
+        raise ValueError("min_warnings must be >= 1")
+    warn_set = warning_types()
+    counts: Dict[Tuple[int, str], int] = defaultdict(int)
+    last_issued: Dict[Tuple[int, str], float] = {}
+    out: List[Warning_] = []
+    for ticket in dataset.failures().sorted_by_time():
+        if ticket.error_type not in warn_set:
+            continue
+        key = (ticket.host_id, ticket.error_device.value)
+        counts[key] += 1
+        if counts[key] < min_warnings:
+            continue
+        prev = last_issued.get(key)
+        if prev is not None and ticket.error_time - prev < dedup_days * DAY:
+            continue
+        last_issued[key] = ticket.error_time
+        out.append(
+            Warning_(
+                host_id=ticket.host_id,
+                component=ticket.error_device.value,
+                issued_at=ticket.error_time,
+                trigger_fot_id=ticket.fot_id,
+            )
+        )
+    return out
+
+
+def evaluate(
+    dataset: FOTDataset,
+    warnings: Sequence[Warning_],
+    *,
+    horizon_days: float = 30.0,
+) -> PredictionReport:
+    """Score a warning stream: did a fatal same-class failure follow?"""
+    if horizon_days <= 0:
+        raise ValueError("horizon must be positive")
+    horizon = horizon_days * DAY
+    fatal = fatal_types()
+    fatal_events: Dict[Tuple[int, str], List[float]] = defaultdict(list)
+    for ticket in dataset.failures():
+        if ticket.error_type in fatal:
+            fatal_events[(ticket.host_id, ticket.error_device.value)].append(
+                ticket.error_time
+            )
+    for times in fatal_events.values():
+        times.sort()
+
+    n_hits = 0
+    lead_times: List[float] = []
+    covered: Set[Tuple[int, str, float]] = set()
+    for warning in warnings:
+        times = fatal_events.get((warning.host_id, warning.component), [])
+        hit: Optional[float] = None
+        for t in times:
+            if warning.issued_at < t <= warning.issued_at + horizon:
+                hit = t
+                break
+        if hit is not None:
+            n_hits += 1
+            lead_times.append(hit - warning.issued_at)
+            covered.add((warning.host_id, warning.component, hit))
+
+    n_fatal = sum(len(v) for v in fatal_events.values())
+    mean_lead = (
+        sum(lead_times) / len(lead_times) / DAY if lead_times else 0.0
+    )
+    return PredictionReport(
+        n_warnings=len(warnings),
+        n_hits=n_hits,
+        n_fatal_failures=n_fatal,
+        n_fatal_covered=len(covered),
+        mean_lead_days=mean_lead,
+    )
+
+
+def predict_and_evaluate(
+    dataset: FOTDataset,
+    *,
+    min_warnings: int = 1,
+    horizon_days: float = 30.0,
+) -> PredictionReport:
+    """Convenience wrapper: issue warnings, then score them."""
+    return evaluate(
+        dataset,
+        issue_warnings(dataset, min_warnings=min_warnings),
+        horizon_days=horizon_days,
+    )
+
+
+__all__ = [
+    "Warning_",
+    "PredictionReport",
+    "warning_types",
+    "fatal_types",
+    "issue_warnings",
+    "evaluate",
+    "predict_and_evaluate",
+]

@@ -1,0 +1,225 @@
+"""Repeating failures — Section III-D and Table VIII.
+
+A *repeated failure* is a problem marked solved (the operator issued a
+repair order, or an automatic reboot closed it) that then happens again:
+same server, same component slot, same failure type.  The paper finds
+that replacement-style repairs are effective — over 85 % of fixed
+components never repeat — but a small population of servers (~4.5 % of
+those that ever failed) flaps, with one extreme server reporting 400+
+RAID/HDD failures from a single BBU root cause.
+
+Some of those flapping servers repeat *synchronously* with a
+near-identical neighbour (Table VIII), which this module detects by
+matching failure timestamps across servers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.dataset import FOTDataset
+from repro.core.ticket import FOT
+from repro.core.types import FOTCategory
+
+#: A component identity for repeat detection: host, class, slot, type.
+RepeatKey = Tuple[int, str, int, str]
+
+
+@dataclass(frozen=True)
+class RepeatingStats:
+    """Headline repeat statistics (Section III-D)."""
+
+    n_fixed_components: int
+    n_repeating_components: int
+    n_failed_servers: int
+    n_repeating_servers: int
+    max_failures_single_server: int
+    max_failures_host_id: int
+
+    @property
+    def repeat_free_fraction(self) -> float:
+        """Fraction of fixed components that never repeated (paper:
+        over 85 %)."""
+        if self.n_fixed_components == 0:
+            raise ValueError("no fixed components")
+        return 1.0 - self.n_repeating_components / self.n_fixed_components
+
+    @property
+    def repeating_server_fraction(self) -> float:
+        """Fraction of ever-failed servers with repeating failures
+        (paper: ~4.5 %)."""
+        if self.n_failed_servers == 0:
+            raise ValueError("no failed servers")
+        return self.n_repeating_servers / self.n_failed_servers
+
+
+def _repeat_key(ticket: FOT) -> RepeatKey:
+    return (
+        ticket.host_id,
+        ticket.error_device.value,
+        ticket.device_slot,
+        ticket.error_type,
+    )
+
+
+#: Default linking window: a recurrence more than this long after the
+#: previous occurrence is treated as a *new* failure of the replacement
+#: module, not a repeat of the "solved" problem.
+DEFAULT_REPEAT_WINDOW_DAYS = 60.0
+
+
+def repeat_chains(
+    dataset: FOTDataset,
+    window_days: float = DEFAULT_REPEAT_WINDOW_DAYS,
+) -> Dict[RepeatKey, List[FOT]]:
+    """Group *fixed-then-recurred* failures by component identity.
+
+    Two occurrences of the same (host, class, slot, type) are linked
+    into a chain when the later one follows within ``window_days`` of
+    the earlier — operators replace the whole module, so a failure of
+    the same slot years later is the replacement wearing out, not an
+    ineffective repair.  Only chains where a non-final occurrence was
+    actually closed as D_fixing count (an unrepaired D_error component
+    failing again is expected, not a repeat of a "solved" problem).
+    Returned chains are time-ordered and have length >= 2.
+    """
+    if window_days <= 0:
+        raise ValueError("window_days must be positive")
+    window = window_days * 86400.0
+    by_key: Dict[RepeatKey, List[FOT]] = defaultdict(list)
+    for ticket in dataset.failures().sorted_by_time():
+        by_key[_repeat_key(ticket)].append(ticket)
+
+    chains: Dict[RepeatKey, List[FOT]] = {}
+    for key, tickets in by_key.items():
+        if len(tickets) < 2:
+            continue
+        # Split the occurrence list into runs with gaps <= window.
+        run: List[FOT] = [tickets[0]]
+        best: List[FOT] = []
+
+        def consider(candidate: List[FOT]) -> None:
+            nonlocal best
+            if len(candidate) < 2:
+                return
+            if not any(t.category is FOTCategory.FIXING for t in candidate[:-1]):
+                return
+            if len(candidate) > len(best):
+                best = list(candidate)
+
+        for prev, cur in zip(tickets, tickets[1:]):
+            if cur.error_time - prev.error_time <= window:
+                run.append(cur)
+            else:
+                consider(run)
+                run = [cur]
+        consider(run)
+        if best:
+            chains[key] = best
+    return chains
+
+
+def repeating_stats(dataset: FOTDataset) -> RepeatingStats:
+    """Compute the Section III-D headline numbers."""
+    failures = dataset.failures()
+    if len(failures) == 0:
+        raise ValueError("no failures in dataset")
+
+    fixed_components = {
+        _repeat_key(t) for t in failures if t.category is FOTCategory.FIXING
+    }
+    chains = repeat_chains(dataset)
+    repeating_components = set(chains) & fixed_components
+    repeating_servers = {key[0] for key in chains}
+
+    host_ids, counts = np.unique(failures.host_ids, return_counts=True)
+    worst = int(np.argmax(counts))
+    return RepeatingStats(
+        n_fixed_components=len(fixed_components),
+        n_repeating_components=len(repeating_components),
+        n_failed_servers=int(host_ids.size),
+        n_repeating_servers=len(repeating_servers),
+        max_failures_single_server=int(counts[worst]),
+        max_failures_host_id=int(host_ids[worst]),
+    )
+
+
+@dataclass(frozen=True)
+class SynchronousGroup:
+    """Servers whose failures repeatedly co-occur (Table VIII)."""
+
+    host_ids: Tuple[int, ...]
+    n_synchronized: int
+    example_times: Tuple[float, ...]
+
+
+def synchronous_groups(
+    dataset: FOTDataset,
+    window_seconds: float = 60.0,
+    min_matches: int = 3,
+    min_failures: int = 3,
+) -> List[SynchronousGroup]:
+    """Find pairs of servers that fail in lockstep.
+
+    Two servers are synchronized when at least ``min_matches`` of their
+    failure timestamps fall into the same ``window_seconds`` bucket.
+    Only servers with at least ``min_failures`` failures are considered
+    (singleton coincidences are unavoidable at fleet scale — the paper's
+    point is the *repeated* alignment).
+    """
+    if window_seconds <= 0:
+        raise ValueError("window must be positive")
+    failures = dataset.failures()
+    times_by_host: Dict[int, List[float]] = defaultdict(list)
+    for ticket in failures:
+        times_by_host[ticket.host_id].append(ticket.error_time)
+    eligible = {
+        host: times
+        for host, times in times_by_host.items()
+        if len(times) >= min_failures
+    }
+
+    bucket_hosts: Dict[int, set] = defaultdict(set)
+    for host, times in eligible.items():
+        for t in times:
+            bucket_hosts[int(t // window_seconds)].add(host)
+
+    pair_buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    for bucket, hosts in bucket_hosts.items():
+        if len(hosts) < 2 or len(hosts) > 50:
+            # Very crowded buckets are batch failures, not synchronous
+            # repeats; skip them (the batch analysis covers those).
+            continue
+        ordered = sorted(hosts)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                pair_buckets[(a, b)].append(bucket)
+
+    groups: List[SynchronousGroup] = []
+    for (a, b), buckets in pair_buckets.items():
+        if len(buckets) >= min_matches:
+            groups.append(
+                SynchronousGroup(
+                    host_ids=(a, b),
+                    n_synchronized=len(buckets),
+                    example_times=tuple(
+                        float(bucket * window_seconds) for bucket in sorted(buckets)[:5]
+                    ),
+                )
+            )
+    groups.sort(key=lambda g: g.n_synchronized, reverse=True)
+    return groups
+
+
+__all__ = [
+    "RepeatKey",
+    "RepeatingStats",
+    "repeat_chains",
+    "repeating_stats",
+    "SynchronousGroup",
+    "synchronous_groups",
+]

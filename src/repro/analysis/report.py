@@ -1,0 +1,126 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The analyses return data; this module turns them into the rows the
+paper prints, so benchmarks and the CLI can show "paper vs. measured"
+side by side without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with column auto-sizing."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 1e6):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    return f"{100.0 * value:.{digits}f} %"
+
+
+def comparison_table(
+    rows: Iterable[Tuple[str, object, object]],
+    title: Optional[str] = None,
+) -> str:
+    """Three-column "metric / paper / measured" table."""
+    return format_table(
+        ["metric", "paper", "measured"],
+        [(name, _cell(paper), _cell(measured)) for name, paper, measured in rows],
+        title=title,
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line bar rendering of a series (for figure-shaped output)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("empty series")
+    if values.size > width:
+        # Downsample by averaging fixed-size chunks.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.asarray(
+            [values[lo:hi].mean() for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+        )
+    top = values.max()
+    if top <= 0:
+        return " " * values.size
+    scaled = np.clip((values / top) * (len(blocks) - 1), 0, len(blocks) - 1)
+    return "".join(blocks[int(round(v))] for v in scaled)
+
+
+def format_profile(
+    labels: Sequence[str], fractions: Sequence[float], title: Optional[str] = None
+) -> str:
+    """Figure 3/4 style rendering: label, fraction, bar."""
+    fractions = np.asarray(list(fractions), dtype=float)
+    top = fractions.max() if fractions.size else 1.0
+    rows = []
+    for label, frac in zip(labels, fractions):
+        bar = "#" * int(round(40 * frac / top)) if top > 0 else ""
+        rows.append((label, format_percent(frac), bar))
+    return format_table(["facet", "share", ""], rows, title=title)
+
+
+def format_cdf_series(
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    probes: Sequence[float],
+    unit: str = "",
+) -> str:
+    """Figure 5/9/10 style rendering: CDF values of several curves at
+    probe points on the x axis."""
+    names = list(series)
+    rows = []
+    for probe in probes:
+        row: List[object] = [f"{probe:g}{unit}"]
+        for name in names:
+            xs, ps = series[name]
+            idx = np.searchsorted(xs, probe, side="right") - 1
+            row.append(f"{ps[idx]:.3f}" if idx >= 0 else "0.000")
+        rows.append(row)
+    return format_table(["x"] + names, rows)
+
+
+__all__ = [
+    "format_table",
+    "format_percent",
+    "comparison_table",
+    "sparkline",
+    "format_profile",
+    "format_cdf_series",
+]

@@ -1,0 +1,214 @@
+"""Survival analysis of component lifetimes.
+
+Figure 6's monthly failure-rate curves are one view of component aging;
+the disk-reliability literature the paper cites (Pinheiro et al.,
+Schroeder & Gibson, Yang & Sun) works with two complementary views that
+this module provides:
+
+* a **Kaplan-Meier survival estimator** over time-to-first-failure per
+  component, with right-censoring for components that never failed
+  inside the observation window (most of the fleet);
+* **annualized failure rates (AFR)** per component class and per service
+  year, the industry-standard reliability headline.
+
+Both need the fleet inventory for the population at risk — tickets only
+record the failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import MONTH, YEAR
+from repro.core.types import ComponentClass
+from repro.fleet.inventory import Inventory
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """Kaplan-Meier estimate of P[component survives beyond t].
+
+    ``times`` are event times (months of service); ``survival`` the KM
+    estimate just after each; ``at_risk`` the risk-set size just before.
+    """
+
+    component: ComponentClass
+    times: np.ndarray
+    survival: np.ndarray
+    at_risk: np.ndarray
+    n_components: int
+    n_failures: int
+
+    def probability_beyond(self, months: float) -> float:
+        """Survival probability beyond ``months`` of service."""
+        idx = int(np.searchsorted(self.times, months, side="right")) - 1
+        if idx < 0:
+            return 1.0
+        return float(self.survival[idx])
+
+    def median_lifetime_months(self) -> Optional[float]:
+        """Service months at which half the population has failed, or
+        ``None`` when the curve never drops to 0.5 (the usual case for
+        reliable hardware in a four-year window)."""
+        below = np.flatnonzero(self.survival <= 0.5)
+        if below.size == 0:
+            return None
+        return float(self.times[below[0]])
+
+
+def _first_failure_ages(
+    dataset: FOTDataset, component: ComponentClass
+) -> Dict[Tuple[int, int], float]:
+    """(host, slot) -> age in months at first failure."""
+    ages: Dict[Tuple[int, int], float] = {}
+    for ticket in dataset.failures().of_component(component).sorted_by_time():
+        key = (ticket.host_id, ticket.device_slot)
+        if key in ages:
+            continue
+        ages[key] = (ticket.error_time - ticket.deployed_at) / MONTH
+    return ages
+
+
+def kaplan_meier(
+    dataset: FOTDataset,
+    inventory: Inventory,
+    component: ComponentClass,
+    *,
+    window_end: Optional[float] = None,
+) -> SurvivalCurve:
+    """Kaplan-Meier over time-to-first-failure for one component class.
+
+    Every physical component in the inventory enters the risk set at
+    age 0; a component is an *event* at its first failure age and a
+    *censoring* at its observed age when the window closes first.
+    """
+    if window_end is None:
+        if len(dataset) == 0:
+            raise ValueError("empty dataset and no window_end")
+        window_end = float(dataset.error_times.max())
+
+    failure_ages = _first_failure_ages(dataset, component)
+    ages_by_host: Dict[int, List[float]] = {}
+    for (host, _), age in failure_ages.items():
+        ages_by_host.setdefault(host, []).append(age)
+    counts = inventory.counts_for(component)
+    deployed = inventory.deployed_ats
+
+    event_times: List[float] = []
+    censor_times: List[float] = []
+    n_components = 0
+    for i in range(len(inventory)):
+        host = int(inventory.host_ids[i])
+        observed_months = max(0.0, (window_end - deployed[i]) / MONTH)
+        if observed_months <= 0:
+            continue
+        per_server = int(counts[i])
+        if per_server == 0:
+            continue
+        n_components += per_server
+        # Slots with a recorded first failure are events; the rest of
+        # the server's components are censored at the window edge.
+        failed_slots = ages_by_host.get(host, [])[:per_server]
+        event_times.extend(min(a, observed_months) for a in failed_slots)
+        censor_times.extend(
+            [observed_months] * (per_server - len(failed_slots))
+        )
+
+    if not event_times:
+        raise ValueError(f"no failures for component {component}")
+
+    events = np.sort(np.asarray(event_times))
+    censors = np.sort(np.asarray(censor_times))
+    unique_times, event_counts = np.unique(events, return_counts=True)
+    # Risk set just before t: events and censorings at >= t.
+    events_before = np.searchsorted(events, unique_times, side="left")
+    censors_before = np.searchsorted(censors, unique_times, side="left")
+    at_risk_arr = (
+        (events.size - events_before) + (censors.size - censors_before)
+    ).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factors = np.where(
+            at_risk_arr > 0, 1.0 - event_counts / at_risk_arr, 1.0
+        )
+    survival = np.cumprod(factors)
+    return SurvivalCurve(
+        component=component,
+        times=unique_times,
+        survival=survival,
+        at_risk=at_risk_arr,
+        n_components=n_components,
+        n_failures=int(events.size),
+    )
+
+
+@dataclass(frozen=True)
+class AFRTable:
+    """Annualized failure rates per service year."""
+
+    component: ComponentClass
+    years: np.ndarray
+    afr: np.ndarray
+    failures: np.ndarray
+    exposure_years: np.ndarray
+
+    def overall(self) -> float:
+        total_exposure = float(self.exposure_years.sum())
+        if total_exposure == 0:
+            raise ValueError("no exposure")
+        return float(self.failures.sum()) / total_exposure
+
+
+def annualized_failure_rates(
+    dataset: FOTDataset,
+    inventory: Inventory,
+    component: ComponentClass,
+    *,
+    n_years: int = 5,
+    window: Optional[Tuple[float, float]] = None,
+) -> AFRTable:
+    """AFR per service year: failures / component-years of exposure.
+
+    This is the Figure 6 computation re-based to the industry's annual
+    granularity, without the confidentiality normalization.
+    """
+    failures = dataset.failures().of_component(component)
+    if len(failures) == 0:
+        raise ValueError(f"no failures for component {component}")
+    if window is None:
+        times = dataset.error_times
+        window = (float(times.min()), float(times.max()) + 1.0)
+
+    ages_years = (failures.error_times - failures.deployed_ats) / YEAR
+    fail_counts = np.bincount(
+        np.clip(ages_years.astype(int), 0, n_years - 1), minlength=n_years
+    ).astype(float)
+    overflow = (ages_years >= n_years).sum()
+    if overflow:
+        fail_counts[n_years - 1] -= float(overflow)
+
+    monthly = inventory.component_month_exposure(
+        component, n_years * 12, window[0], window[1]
+    )
+    exposure_years = monthly.reshape(n_years, 12).sum(axis=1) / 12.0
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        afr = np.where(exposure_years > 0, fail_counts / np.maximum(exposure_years, 1e-12), 0.0)
+    return AFRTable(
+        component=component,
+        years=np.arange(n_years),
+        afr=afr,
+        failures=fail_counts,
+        exposure_years=exposure_years,
+    )
+
+
+__all__ = [
+    "SurvivalCurve",
+    "kaplan_meier",
+    "AFRTable",
+    "annualized_failure_rates",
+]

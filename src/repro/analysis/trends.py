@@ -1,0 +1,133 @@
+"""Calendar-time trends over the study window.
+
+The paper's limitation section (VII-C) warns that the trace is not
+stationary: the FMS "incrementally rolled out ... during the four years",
+the fleet grows, hardware cohorts age through the window.  Before
+trusting any whole-window statistic on a real dump, an analyst should
+look at the calendar trends this module computes:
+
+* failures per calendar quarter (fleet growth + aging),
+* per-class share drift across the window (cohort/technology shifts),
+* detection-source mix over time (monitoring rollout),
+* daily-count dispersion per quarter (are batches an era or endemic?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.batch import daily_counts
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY
+from repro.core.types import ComponentClass, DetectionSource
+from repro.stats.dispersion import DispersionResult, dispersion_test
+
+#: Days per reporting bucket (a calendar quarter, near enough).
+QUARTER_DAYS = 90
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Per-quarter evolution of a ticket stream."""
+
+    quarter_starts_days: np.ndarray
+    failures_per_quarter: np.ndarray
+    hdd_share_per_quarter: np.ndarray
+    manual_share_per_quarter: np.ndarray
+    dispersion_per_quarter: List[Optional[DispersionResult]]
+
+    @property
+    def n_quarters(self) -> int:
+        return int(self.quarter_starts_days.size)
+
+    def growth_factor(self) -> float:
+        """Failure volume of the last quarter over the first (fleet
+        growth + wear-out compound into > 1 on a growing fleet)."""
+        first = float(self.failures_per_quarter[0])
+        if first == 0:
+            raise ValueError("first quarter has no failures")
+        return float(self.failures_per_quarter[-1]) / first
+
+
+def quarterly_trends(dataset: FOTDataset) -> TrendReport:
+    """Compute the per-quarter trend report."""
+    failures = dataset.failures()
+    if len(failures) == 0:
+        raise ValueError("no failures in dataset")
+    times = failures.error_times
+    n_days = int(times.max() // DAY) + 1
+    n_quarters = max(1, n_days // QUARTER_DAYS)
+
+    counts = np.zeros(n_quarters)
+    hdd_share = np.zeros(n_quarters)
+    manual_share = np.zeros(n_quarters)
+    dispersions: List[Optional[DispersionResult]] = []
+
+    hdd_code_mask = failures.component_codes
+    from repro.core.dataset import COMPONENT_ORDER
+
+    hdd_idx = COMPONENT_ORDER.index(ComponentClass.HDD)
+    quarter_of = (times // (QUARTER_DAYS * DAY)).astype(int)
+    quarter_of = np.minimum(quarter_of, n_quarters - 1)
+
+    manual_flags = np.fromiter(
+        (t.source is DetectionSource.MANUAL for t in failures),
+        dtype=bool,
+        count=len(failures),
+    )
+
+    daily = daily_counts(dataset, ComponentClass.HDD, n_days)
+    for q in range(n_quarters):
+        mask = quarter_of == q
+        total = int(mask.sum())
+        counts[q] = total
+        if total:
+            hdd_share[q] = float((hdd_code_mask[mask] == hdd_idx).mean())
+            manual_share[q] = float(manual_flags[mask].mean())
+        lo, hi = q * QUARTER_DAYS, min(n_days, (q + 1) * QUARTER_DAYS)
+        window = daily[lo:hi]
+        if window.size >= 2 and window.sum() > 0:
+            dispersions.append(dispersion_test(window))
+        else:
+            dispersions.append(None)
+
+    return TrendReport(
+        quarter_starts_days=np.arange(n_quarters) * QUARTER_DAYS,
+        failures_per_quarter=counts,
+        hdd_share_per_quarter=hdd_share,
+        manual_share_per_quarter=manual_share,
+        dispersion_per_quarter=dispersions,
+    )
+
+
+def class_share_drift(
+    dataset: FOTDataset, component: ComponentClass, n_buckets: int = 8
+) -> np.ndarray:
+    """Share of one class per equal-width calendar bucket — a quick
+    stationarity check before pooling a whole window."""
+    failures = dataset.failures()
+    if len(failures) == 0:
+        raise ValueError("no failures in dataset")
+    if n_buckets < 2:
+        raise ValueError("need at least 2 buckets")
+    times = failures.error_times
+    edges = np.linspace(times.min(), times.max() + 1.0, n_buckets + 1)
+    bucket = np.clip(
+        np.searchsorted(edges, times, side="right") - 1, 0, n_buckets - 1
+    )
+    from repro.core.dataset import COMPONENT_ORDER
+
+    target = COMPONENT_ORDER.index(component)
+    is_target = failures.component_codes == target
+    out = np.zeros(n_buckets)
+    for b in range(n_buckets):
+        mask = bucket == b
+        if mask.any():
+            out[b] = float(is_target[mask].mean())
+    return out
+
+
+__all__ = ["QUARTER_DAYS", "TrendReport", "quarterly_trends", "class_share_drift"]

@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    fouryears generate --scale 0.05 --seed 7 --out trace.jsonl \
+        --inventory inventory.csv
+    fouryears analyze trace.jsonl --inventory inventory.csv
+    fouryears report trace.jsonl          # compact headline summary
+
+``analyze`` prints every paper table/figure the dataset supports;
+``report`` prints only the headline numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    batch,
+    compare,
+    concentration,
+    correlated,
+    mining,
+    overview,
+    prediction,
+    repeating,
+    report,
+    response,
+    spatial,
+    tbf,
+    temporal,
+)
+from repro.core import io as core_io
+from repro.core.types import ComponentClass, FOTCategory
+from repro.fleet.inventory import Inventory
+from repro.simulation.trace import generate_paper_trace
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_paper_trace(scale=args.scale, seed=args.seed)
+    core_io.save(trace.dataset, args.out)
+    print(f"wrote {len(trace.dataset)} tickets to {args.out}")
+    if args.inventory:
+        trace.inventory.save_csv(args.inventory)
+        print(f"wrote inventory ({len(trace.inventory)} servers) to {args.inventory}")
+    summary = trace.dataset.summary()
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _print_headlines(dataset, inventory: Optional[Inventory]) -> None:
+    cats = overview.category_breakdown(dataset)
+    print(
+        report.format_table(
+            ["category", "share"],
+            [
+                (cat.value, report.format_percent(cats.fraction(cat)))
+                for cat in FOTCategory
+            ],
+            title="Table I — FOT categories",
+        )
+    )
+    print()
+    comp = overview.component_breakdown(dataset)
+    print(
+        report.format_table(
+            ["component", "share"],
+            [(cls.value, report.format_percent(share)) for cls, share in comp.items()],
+            title="Table II — failures by component",
+        )
+    )
+    print()
+    analysis = tbf.analyze_tbf(dataset)
+    print(f"MTBF: {analysis.mtbf_minutes:.1f} minutes over {analysis.n_gaps + 1} failures")
+    rejected = {name: t.reject_at(0.05) for name, t in analysis.tests.items()}
+    print(f"TBF fits rejected at 0.05: {rejected}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dataset = core_io.load(args.dataset)
+    inventory = Inventory.load_csv(args.inventory) if args.inventory else None
+    _print_headlines(dataset, inventory)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = core_io.load(args.dataset)
+    inventory = Inventory.load_csv(args.inventory) if args.inventory else None
+    _print_headlines(dataset, inventory)
+
+    print()
+    for cls, profile in temporal.day_of_week_summary(dataset, 4).items():
+        print(
+            report.format_profile(
+                profile.labels,
+                profile.fractions,
+                title=f"Figure 3 — {cls.value} by day of week ({profile.test})",
+            )
+        )
+        print()
+
+    curve = concentration.failure_concentration(dataset)
+    print(
+        f"Figure 7 — concentration: top 2 % of ever-failed servers hold "
+        f"{report.format_percent(curve.share_of_top(0.02))} of failures "
+        f"(gini {curve.gini:.3f})"
+    )
+    rep = repeating.repeating_stats(dataset)
+    print(
+        f"Repeats: {report.format_percent(rep.repeat_free_fraction)} of fixed "
+        f"components never repeat; "
+        f"{report.format_percent(rep.repeating_server_fraction)} of failed "
+        f"servers repeat; worst server has {rep.max_failures_single_server} failures"
+    )
+
+    freq = batch.batch_failure_frequency(dataset)
+    rows = [
+        (cls.value,) + tuple(report.format_percent(freq[cls][n]) for n in batch.TABLE_V_THRESHOLDS)
+        for cls in ComponentClass
+    ]
+    print()
+    print(
+        report.format_table(
+            ["component", "r100", "r200", "r500"],
+            rows,
+            title="Table V — batch failure frequency",
+        )
+    )
+
+    corr = correlated.component_pair_counts(dataset)
+    print()
+    print(
+        f"Correlated pairs: {corr.total_pairs()} "
+        f"({report.format_percent(corr.correlated_server_fraction)} of failed "
+        f"servers; misc share {report.format_percent(corr.misc_share)})"
+    )
+
+    fixing = response.rt_distribution(dataset, FOTCategory.FIXING)
+    print(
+        f"RT (D_fixing): median {fixing.median_days:.1f} d, mean "
+        f"{fixing.mean_days:.1f} d, >140 d: {report.format_percent(fixing.tail_140d)}"
+    )
+
+    if inventory is not None:
+        summary = spatial.rack_position_tests(dataset, inventory)
+        print()
+        print(
+            report.format_table(
+                ["p-value bucket", "data centers"],
+                list(summary.bucket_counts().items()),
+                title="Table IV — rack-position chi-square results",
+            )
+        )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    dataset = core_io.load(args.dataset)
+    incidents = mining.mine_incidents(dataset, min_batch=args.min_batch)
+    rows = [
+        (i.incident_id, i.kind, len(i), len(i.servers),
+         f"{i.span_seconds / 86400.0:.1f} d", i.summary[:70])
+        for i in incidents[: args.limit]
+    ]
+    print(
+        report.format_table(
+            ["id", "kind", "tickets", "servers", "span", "summary"],
+            rows,
+            title=f"{len(incidents)} incidents "
+                  f"(showing the {min(args.limit, len(incidents))} largest)",
+        )
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    dataset = core_io.load(args.dataset)
+    rows = []
+    for min_warnings in (1, 2, 3):
+        rep = prediction.predict_and_evaluate(
+            dataset, min_warnings=min_warnings, horizon_days=args.horizon
+        )
+        rows.append((
+            min_warnings, rep.n_warnings,
+            report.format_percent(rep.precision) if rep.n_warnings else "-",
+            report.format_percent(rep.recall) if rep.n_fatal_failures else "-",
+            f"{rep.mean_lead_days:.1f} d",
+        ))
+    print(
+        report.format_table(
+            ["trigger", "alerts", "precision", "recall", "mean lead"],
+            rows,
+            title=f"failure prediction ({args.horizon:.0f}-day horizon)",
+        )
+    )
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.simulation.trace import generate_paper_trace
+    from repro.simulation.validation import failed_checks, validate_trace
+
+    trace = generate_paper_trace(scale=args.scale, seed=args.seed)
+    # Sampling noise widens with shrinking traces.
+    slack = max(1.0, 0.3 / max(args.scale, 0.01))
+    checks = validate_trace(trace, slack=slack)
+    for check in checks:
+        print(check)
+    failed = failed_checks(checks)
+    print(
+        f"\n{len(checks) - len(failed)}/{len(checks)} targets within "
+        f"tolerance at scale {args.scale}"
+    )
+    return 1 if failed else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    left = core_io.load(args.left)
+    right = core_io.load(args.right)
+    result = compare.compare_datasets(left, right)
+    print(
+        report.format_table(
+            ["metric", args.left, args.right],
+            compare.comparison_rows(result),
+            title="dataset comparison (scale-free metrics)",
+        )
+    )
+    verdict = "compatible" if result.within(args.tolerance) else "DIFFERENT"
+    print(f"\nverdict at {args.tolerance:.0%} relative tolerance: {verdict}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fouryears",
+        description=(
+            "Reproduction toolkit for 'What Can We Learn from Four Years "
+            "of Data Center Hardware Failures?' (DSN 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic FOT trace")
+    gen.add_argument("--scale", type=float, default=0.05)
+    gen.add_argument("--seed", type=int, default=20170626)
+    gen.add_argument("--out", default="trace.jsonl")
+    gen.add_argument("--inventory", default=None)
+    gen.set_defaults(func=_cmd_generate)
+
+    rep = sub.add_parser("report", help="print headline statistics")
+    rep.add_argument("dataset")
+    rep.add_argument("--inventory", default=None)
+    rep.set_defaults(func=_cmd_report)
+
+    ana = sub.add_parser("analyze", help="run every paper analysis")
+    ana.add_argument("dataset")
+    ana.add_argument("--inventory", default=None)
+    ana.set_defaults(func=_cmd_analyze)
+
+    mine = sub.add_parser(
+        "mine", help="cluster tickets into incidents (Section VII-B tool)"
+    )
+    mine.add_argument("dataset")
+    mine.add_argument("--limit", type=int, default=20)
+    mine.add_argument("--min-batch", type=int, default=25, dest="min_batch")
+    mine.set_defaults(func=_cmd_mine)
+
+    pred = sub.add_parser(
+        "predict", help="evaluate the early-warning predictor (Section VII-A)"
+    )
+    pred.add_argument("dataset")
+    pred.add_argument("--horizon", type=float, default=30.0)
+    pred.set_defaults(func=_cmd_predict)
+
+    cmp_ = sub.add_parser(
+        "compare", help="compare two ticket dumps (real vs. synthetic, ...)"
+    )
+    cmp_.add_argument("left")
+    cmp_.add_argument("right")
+    cmp_.add_argument("--tolerance", type=float, default=0.5)
+    cmp_.set_defaults(func=_cmd_compare)
+
+    check = sub.add_parser(
+        "selfcheck",
+        help="generate a trace and validate it against the paper targets",
+    )
+    check.add_argument("--scale", type=float, default=0.1)
+    check.add_argument("--seed", type=int, default=20170626)
+    check.set_defaults(func=_cmd_selfcheck)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Scenario configuration and presets.
+
+A :class:`ScenarioConfig` fully determines a synthetic trace: the fleet
+shape (:class:`FleetConfig`), the time horizon, the random seed and a
+global ``scale`` knob that shrinks the fleet *and* the failure volume
+together so small scenarios keep the same per-server statistics.
+
+Presets:
+
+* :func:`paper_scenario` — 24 data centers, ~100k servers, 1411 days,
+  ~290k FOTs: the configuration every benchmark uses (optionally scaled
+  down via ``scale``).
+* :func:`small_scenario` — a few thousand servers for examples.
+* :func:`tiny_scenario` — hundreds of servers for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.core.timeutil import DAY, PAPER_TRACE_DAYS
+
+
+@dataclass(frozen=True)
+class SpatialProfile:
+    """How failure risk varies with rack slot in one data center.
+
+    ``kind`` is one of:
+
+    * ``"uniform"`` — every slot identical (the paper's post-2014 DCs).
+    * ``"hotspot"`` — uniform except a few hot slots (DC A in Fig. 8:
+      slots near the top of the rack and next to the rack-level power
+      module run several degrees warmer).
+    * ``"gradient"`` — risk grows with slot height (under-floor cooling:
+      the top of the rack is the last place cooling air reaches).
+    """
+
+    kind: str = "uniform"
+    #: (slot, multiplier) pairs for ``hotspot`` profiles.
+    hot_slots: Tuple[Tuple[int, float], ...] = ()
+    #: Multiplier at the top slot for ``gradient`` profiles (bottom = 1).
+    gradient_top: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "hotspot", "gradient"):
+            raise ValueError(f"unknown spatial profile kind: {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of the simulated fleet."""
+
+    n_datacenters: int = 24
+    #: Mean servers per data center (actual counts vary around this).
+    servers_per_dc: int = 13000
+    #: Slots per rack; operators leave some top/bottom slots empty.
+    rack_slots: int = 40
+    #: Racks sharing one power distribution unit.
+    racks_per_pdu: int = 4
+    #: Number of product lines; sizes follow a Zipf-like law.
+    n_product_lines: int = 200
+    #: Zipf exponent for product-line sizes.
+    product_line_zipf: float = 1.1
+    #: Hardware generations get deployed in yearly waves starting this
+    #: many years *before* the trace epoch (ages up to ~7 years by the
+    #: end of a 4-year trace, so ~28 % of failures land out-of-warranty).
+    oldest_wave_years: float = 2.0
+    #: Waves continue until this many years after the trace epoch.
+    newest_wave_years: float = 3.5
+    #: Effective warranty from deployment, after which failures become
+    #: D_error (a nominal 3-year term plus procurement/burn-in lag);
+    #: tuned so ~28 % of failures land out-of-warranty (Table I).
+    warranty_years: float = 3.3
+    #: Fraction of data centers "built after 2014" with modern, uniform
+    #: cooling (the paper: ~90 % of post-2014 DCs look uniform).
+    modern_dc_fraction: float = 10.0 / 24.0
+    #: Per-DC spatial profiles for the legacy DCs are drawn from this mix
+    #: (kind -> probability); modern DCs are always uniform.
+    legacy_profile_mix: Dict[str, float] = field(
+        default_factory=lambda: {"gradient": 0.55, "hotspot": 0.45}
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything :func:`repro.simulation.trace.generate_trace` needs."""
+
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    #: Trace length in days; the paper examines D = 1411 days.
+    horizon_days: float = float(PAPER_TRACE_DAYS)
+    #: Target number of failure tickets (D_fixing + D_error) before
+    #: scaling; the paper observes ~290k FOTs total.
+    target_failures: int = 286_000
+    #: Global scale knob in (0, 1]: multiplies fleet size and failure
+    #: volume together.
+    scale: float = 1.0
+    #: FMS monitoring-coverage rollout, modelling the paper's stated
+    #: limitation ("people incrementally rolled out FMS during the four
+    #: years, and thus the actual coverage might vary").  0.0 (default)
+    #: means full agent coverage from day one; a positive value means
+    #: agent coverage ramps linearly from ``monitoring_initial_coverage``
+    #: to 1.0 over that many years, and automatic detections on
+    #: not-yet-monitored servers are silently lost (manual reports still
+    #: get filed).
+    monitoring_rollout_years: float = 0.0
+    monitoring_initial_coverage: float = 0.5
+    seed: int = 20170626
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.horizon_days <= 30:
+            raise ValueError("horizon must exceed one month")
+        if self.target_failures < 100:
+            raise ValueError("target_failures too small to be meaningful")
+        if self.monitoring_rollout_years < 0:
+            raise ValueError("monitoring rollout cannot be negative")
+        if not 0.0 <= self.monitoring_initial_coverage <= 1.0:
+            raise ValueError(
+                "monitoring_initial_coverage must be in [0, 1], got "
+                f"{self.monitoring_initial_coverage}"
+            )
+
+    @property
+    def horizon_seconds(self) -> float:
+        return self.horizon_days * DAY
+
+    @property
+    def scaled_target_failures(self) -> int:
+        return max(100, int(self.target_failures * self.scale))
+
+    def scaled_fleet(self) -> FleetConfig:
+        """Fleet config with server counts (and, below 10 % scale, the
+        DC count) shrunk by ``scale``."""
+        fleet = self.fleet
+        if self.scale >= 1.0:
+            return fleet
+        n_dcs = fleet.n_datacenters
+        servers = max(20, int(fleet.servers_per_dc * self.scale))
+        if self.scale < 0.1:
+            # Keep at least 6 DCs so spatial/per-DC analyses stay exercised.
+            n_dcs = max(6, int(fleet.n_datacenters * self.scale * 10))
+            servers = max(20, int(fleet.servers_per_dc * self.scale * fleet.n_datacenters / n_dcs))
+        n_lines = max(12, int(fleet.n_product_lines * min(1.0, self.scale * 4)))
+        return replace(
+            fleet,
+            n_datacenters=n_dcs,
+            servers_per_dc=servers,
+            n_product_lines=n_lines,
+        )
+
+
+def paper_scenario(scale: float = 1.0, seed: int = 20170626) -> ScenarioConfig:
+    """The calibrated paper-scale scenario (~100k servers, ~290k FOTs at
+    ``scale=1.0``)."""
+    return ScenarioConfig(scale=scale, seed=seed)
+
+
+def small_scenario(seed: int = 20170626) -> ScenarioConfig:
+    """A few thousand servers / ~15k FOTs — comfortable for examples."""
+    return ScenarioConfig(scale=0.05, seed=seed)
+
+
+def tiny_scenario(seed: int = 20170626) -> ScenarioConfig:
+    """Hundreds of servers / ~3k FOTs — fast enough for unit tests."""
+    return ScenarioConfig(scale=0.01, seed=seed)
+
+
+__all__ = [
+    "SpatialProfile",
+    "FleetConfig",
+    "ScenarioConfig",
+    "paper_scenario",
+    "small_scenario",
+    "tiny_scenario",
+]

@@ -1,0 +1,25 @@
+"""Core FOT (failure operation ticket) data model.
+
+This package defines the ticket schema described in Section II of the
+paper: component classes, failure categories, the failure-type registry
+(Table III), the :class:`~repro.core.ticket.FOT` record itself, the
+:class:`~repro.core.dataset.FOTDataset` container every analysis consumes,
+and CSV/JSONL serialization so real ticket dumps can be loaded in place of
+the synthetic trace.
+"""
+
+from repro.core.types import ComponentClass, FOTCategory, DetectionSource
+from repro.core.failure_types import FailureType, REGISTRY, failure_types_for
+from repro.core.ticket import FOT
+from repro.core.dataset import FOTDataset
+
+__all__ = [
+    "ComponentClass",
+    "FOTCategory",
+    "DetectionSource",
+    "FailureType",
+    "REGISTRY",
+    "failure_types_for",
+    "FOT",
+    "FOTDataset",
+]

@@ -1,0 +1,268 @@
+"""The FOT dataset container every analysis consumes.
+
+:class:`FOTDataset` wraps an immutable sequence of :class:`~repro.core.ticket.FOT`
+records and exposes:
+
+* lazily-built **columnar numpy views** of the hot fields (timestamps,
+  category/component codes, host ids, rack positions, ...) so the
+  statistical analyses vectorize instead of looping over tickets, and
+* **filtering / grouping** helpers (`failures()`, `where()`,
+  `by_component()`, ...) that return new datasets sharing nothing mutable.
+
+The container is deliberately schema-first: a real ticket dump loaded via
+:mod:`repro.core.io` behaves identically to the synthetic trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.core.ticket import FOT
+from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+
+#: Stable integer coding for categorical columns.
+COMPONENT_ORDER: Sequence[ComponentClass] = tuple(ComponentClass)
+CATEGORY_ORDER: Sequence[FOTCategory] = tuple(FOTCategory)
+_COMPONENT_CODE = {c: i for i, c in enumerate(COMPONENT_ORDER)}
+_CATEGORY_CODE = {c: i for i, c in enumerate(CATEGORY_ORDER)}
+
+
+class FOTDataset:
+    """An immutable collection of FOTs with columnar accessors."""
+
+    def __init__(self, tickets: Iterable[FOT]):
+        self._tickets: List[FOT] = list(tickets)
+        self._columns: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def __iter__(self) -> Iterator[FOT]:
+        return iter(self._tickets)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return FOTDataset(self._tickets[index])
+        return self._tickets[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FOTDataset({len(self)} tickets)"
+
+    @property
+    def tickets(self) -> Sequence[FOT]:
+        """The underlying tickets (do not mutate)."""
+        return self._tickets
+
+    # ------------------------------------------------------------------
+    # columnar views
+    # ------------------------------------------------------------------
+    def _column(self, name: str, build: Callable[[], np.ndarray]) -> np.ndarray:
+        col = self._columns.get(name)
+        if col is None:
+            col = build()
+            col.setflags(write=False)
+            self._columns[name] = col
+        return col
+
+    @property
+    def error_times(self) -> np.ndarray:
+        """Failure detection timestamps, seconds since trace epoch."""
+        return self._column(
+            "error_times",
+            lambda: np.fromiter(
+                (t.error_time for t in self._tickets), dtype=float, count=len(self)
+            ),
+        )
+
+    @property
+    def op_times(self) -> np.ndarray:
+        """Operator close timestamps; ``nan`` where the ticket has none."""
+        return self._column(
+            "op_times",
+            lambda: np.fromiter(
+                (
+                    np.nan if t.op_time is None else t.op_time
+                    for t in self._tickets
+                ),
+                dtype=float,
+                count=len(self),
+            ),
+        )
+
+    @property
+    def response_times(self) -> np.ndarray:
+        """``op_time - error_time`` in seconds; ``nan`` where undefined."""
+        return self._column(
+            "response_times", lambda: self.op_times - self.error_times
+        )
+
+    @property
+    def category_codes(self) -> np.ndarray:
+        """Integer code per ticket, index into :data:`CATEGORY_ORDER`."""
+        return self._column(
+            "category_codes",
+            lambda: np.fromiter(
+                (_CATEGORY_CODE[t.category] for t in self._tickets),
+                dtype=np.int8,
+                count=len(self),
+            ),
+        )
+
+    @property
+    def component_codes(self) -> np.ndarray:
+        """Integer code per ticket, index into :data:`COMPONENT_ORDER`."""
+        return self._column(
+            "component_codes",
+            lambda: np.fromiter(
+                (_COMPONENT_CODE[t.error_device] for t in self._tickets),
+                dtype=np.int8,
+                count=len(self),
+            ),
+        )
+
+    @property
+    def host_ids(self) -> np.ndarray:
+        return self._column(
+            "host_ids",
+            lambda: np.fromiter(
+                (t.host_id for t in self._tickets), dtype=np.int64, count=len(self)
+            ),
+        )
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Rack slot numbers."""
+        return self._column(
+            "positions",
+            lambda: np.fromiter(
+                (t.error_position for t in self._tickets),
+                dtype=np.int32,
+                count=len(self),
+            ),
+        )
+
+    @property
+    def deployed_ats(self) -> np.ndarray:
+        return self._column(
+            "deployed_ats",
+            lambda: np.fromiter(
+                (t.deployed_at for t in self._tickets), dtype=float, count=len(self)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def where(self, mask: np.ndarray) -> "FOTDataset":
+        """Subset by boolean mask (vectorized filters build the mask from
+        the columnar views)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match dataset of {len(self)}"
+            )
+        return FOTDataset([t for t, keep in zip(self._tickets, mask) if keep])
+
+    def filter(self, predicate: Callable[[FOT], bool]) -> "FOTDataset":
+        """Subset by per-ticket predicate."""
+        return FOTDataset([t for t in self._tickets if predicate(t)])
+
+    def failures(self) -> "FOTDataset":
+        """Tickets in D_fixing or D_error — the paper's failure
+        definition, excluding false alarms (Section II)."""
+        false_code = _CATEGORY_CODE[FOTCategory.FALSE_ALARM]
+        return self.where(self.category_codes != false_code)
+
+    def of_category(self, category: FOTCategory) -> "FOTDataset":
+        return self.where(self.category_codes == _CATEGORY_CODE[category])
+
+    def of_component(self, component: ComponentClass) -> "FOTDataset":
+        return self.where(self.component_codes == _COMPONENT_CODE[component])
+
+    def of_idc(self, idc: str) -> "FOTDataset":
+        return self.filter(lambda t: t.host_idc == idc)
+
+    def of_product_line(self, line: str) -> "FOTDataset":
+        return self.filter(lambda t: t.product_line == line)
+
+    def of_source(self, source: DetectionSource) -> "FOTDataset":
+        return self.filter(lambda t: t.source is source)
+
+    def between(self, start: float, end: float) -> "FOTDataset":
+        """Tickets with ``start <= error_time < end``."""
+        times = self.error_times
+        return self.where((times >= start) & (times < end))
+
+    def sorted_by_time(self) -> "FOTDataset":
+        order = np.argsort(self.error_times, kind="stable")
+        return FOTDataset([self._tickets[i] for i in order])
+
+    # ------------------------------------------------------------------
+    # grouping
+    # ------------------------------------------------------------------
+    def _group_by_key(self, key: Callable[[FOT], object]) -> Dict[object, "FOTDataset"]:
+        buckets: Dict[object, List[FOT]] = {}
+        for ticket in self._tickets:
+            buckets.setdefault(key(ticket), []).append(ticket)
+        return {k: FOTDataset(v) for k, v in buckets.items()}
+
+    def by_component(self) -> Dict[ComponentClass, "FOTDataset"]:
+        return self._group_by_key(lambda t: t.error_device)
+
+    def by_category(self) -> Dict[FOTCategory, "FOTDataset"]:
+        return self._group_by_key(lambda t: t.category)
+
+    def by_idc(self) -> Dict[str, "FOTDataset"]:
+        return self._group_by_key(lambda t: t.host_idc)
+
+    def by_product_line(self) -> Dict[str, "FOTDataset"]:
+        return self._group_by_key(lambda t: t.product_line)
+
+    def by_host(self) -> Dict[int, "FOTDataset"]:
+        return self._group_by_key(lambda t: t.host_id)
+
+    def by_failure_type(self) -> Dict[str, "FOTDataset"]:
+        return self._group_by_key(lambda t: t.error_type)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    @property
+    def idcs(self) -> List[str]:
+        """Distinct data-center names, sorted."""
+        return sorted({t.host_idc for t in self._tickets})
+
+    @property
+    def product_lines(self) -> List[str]:
+        """Distinct product-line names, sorted."""
+        return sorted({t.product_line for t in self._tickets})
+
+    @property
+    def span_seconds(self) -> float:
+        """Time between the first and last ticket; 0 for < 2 tickets."""
+        if len(self) < 2:
+            return 0.0
+        times = self.error_times
+        return float(times.max() - times.min())
+
+    def concat(self, other: "FOTDataset") -> "FOTDataset":
+        return FOTDataset(list(self._tickets) + list(other._tickets))
+
+    def summary(self) -> Dict[str, object]:
+        """Cheap headline numbers, mostly for logging and the CLI."""
+        return {
+            "tickets": len(self),
+            "failures": len(self.failures()),
+            "idcs": len(self.idcs),
+            "product_lines": len(self.product_lines),
+            "span_days": self.span_seconds / 86400.0,
+            "hosts": int(np.unique(self.host_ids).size) if len(self) else 0,
+        }
+
+
+__all__ = ["FOTDataset", "COMPONENT_ORDER", "CATEGORY_ORDER"]

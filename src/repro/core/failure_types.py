@@ -1,0 +1,316 @@
+"""Failure-type registry (Table III of the paper).
+
+The FMS records over 70 failure types across the component classes; the
+paper publishes explanations for a representative subset (Table III) and
+per-class type mixes for four classes (Figure 2).  This module is the
+single registry of the types the reproduction models: each type carries
+its component class, the paper's (or a paraphrased) explanation, and
+whether it is *fatal* ("e.g. NotReady in a hard drive") or an early
+warning ("e.g. SMARTFail").
+
+Types not spelled out in the paper are marked ``documented=False``; they
+exist so that every component class has a plausible mix, and their share
+of the synthetic trace is configured in
+:mod:`repro.simulation.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.types import ComponentClass
+
+
+@dataclass(frozen=True)
+class FailureType:
+    """One failure type the FMS can report.
+
+    Attributes:
+        name: The FMS type identifier, e.g. ``"SMARTFail"``.
+        component: Component class this type belongs to.
+        explanation: What the type means (Table III wording where the
+            paper gives it).
+        fatal: True when the failure means the component has stopped
+            working (vs. a predictive warning).
+        documented: True when the type appears verbatim in the paper.
+    """
+
+    name: str
+    component: ComponentClass
+    explanation: str
+    fatal: bool = False
+    documented: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _ft(
+    name: str,
+    component: ComponentClass,
+    explanation: str,
+    *,
+    fatal: bool = False,
+    documented: bool = True,
+) -> FailureType:
+    return FailureType(name, component, explanation, fatal, documented)
+
+
+#: All failure types known to the reproduction, keyed by name.
+REGISTRY: Dict[str, FailureType] = {
+    ft.name: ft
+    for ft in [
+        # ---- HDD (Table III (a) + Table VIII) -------------------------
+        _ft(
+            "SMARTFail",
+            ComponentClass.HDD,
+            "Some HDD SMART value exceeds the predefined threshold.",
+        ),
+        _ft(
+            "RaidPdPreErr",
+            ComponentClass.HDD,
+            "The prediction error count exceeds the predefined threshold.",
+        ),
+        _ft(
+            "Missing",
+            ComponentClass.HDD,
+            "Some device file could not be detected.",
+            fatal=True,
+        ),
+        _ft(
+            "NotReady",
+            ComponentClass.HDD,
+            "Some device file could not be accessed.",
+            fatal=True,
+        ),
+        _ft(
+            "PendingLBA",
+            ComponentClass.HDD,
+            "Failures are detected on the sectors that are not accessed.",
+        ),
+        _ft(
+            "TooMany",
+            ComponentClass.HDD,
+            "Large number of failed sectors are detected on the HDD.",
+            fatal=True,
+        ),
+        _ft(
+            "DStatus",
+            ComponentClass.HDD,
+            "IO requests are not handled by the HDD and are in D status.",
+            fatal=True,
+        ),
+        _ft(
+            "SixthFixing",
+            ComponentClass.HDD,
+            "The same drive slot has been repaired repeatedly "
+            "(appears in the synchronous-repeat example, Table VIII).",
+        ),
+        # ---- RAID card (Table III (b)) --------------------------------
+        _ft(
+            "RaidVdNoBBUCacheErr",
+            ComponentClass.RAID_CARD,
+            "Abnormal cache setting due to BBU (Battery Backup Unit) is "
+            "detected, which degrades the performance.",
+        ),
+        _ft(
+            "BBUFail",
+            ComponentClass.RAID_CARD,
+            "The RAID card battery backup unit fails, forcing "
+            "write-through mode (root cause of the 400-failure server in "
+            "Section III-D).",
+            documented=False,
+        ),
+        _ft(
+            "RaidCtrlMissing",
+            ComponentClass.RAID_CARD,
+            "The RAID controller stops responding to management commands.",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- Flash card (Table III (c)) --------------------------------
+        _ft(
+            "BBTFail",
+            ComponentClass.FLASH_CARD,
+            "The bad block table (BBT) could not be accessed.",
+            fatal=True,
+        ),
+        _ft(
+            "HighMaxBbRate",
+            ComponentClass.FLASH_CARD,
+            "The max bad block rate exceeds the predefined threshold.",
+        ),
+        _ft(
+            "FlashIOErr",
+            ComponentClass.FLASH_CARD,
+            "IO requests on the flash card return errors.",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- Memory (Table III (d)) ------------------------------------
+        _ft(
+            "DIMMCE",
+            ComponentClass.MEMORY,
+            "Large number of correctable errors are detected.",
+        ),
+        _ft(
+            "DIMMUE",
+            ComponentClass.MEMORY,
+            "Uncorrectable errors are detected on the memory.",
+            fatal=True,
+        ),
+        # ---- SSD --------------------------------------------------------
+        _ft(
+            "SSDSMARTFail",
+            ComponentClass.SSD,
+            "Some SSD SMART value exceeds the predefined threshold.",
+            documented=False,
+        ),
+        _ft(
+            "SSDWearHigh",
+            ComponentClass.SSD,
+            "The SSD media wear indicator exceeds the threshold.",
+            documented=False,
+        ),
+        _ft(
+            "SSDNotReady",
+            ComponentClass.SSD,
+            "The SSD device file could not be accessed.",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- Motherboard ------------------------------------------------
+        _ft(
+            "SASCardErr",
+            ComponentClass.MOTHERBOARD,
+            "The on-board SAS (Serial Attached SCSI) card misbehaves "
+            "(cause of batch failure Case 2, Section V-A).",
+            fatal=True,
+            documented=False,
+        ),
+        _ft(
+            "MBSensorErr",
+            ComponentClass.MOTHERBOARD,
+            "A motherboard health sensor reports an out-of-range value.",
+            documented=False,
+        ),
+        _ft(
+            "MBNoPost",
+            ComponentClass.MOTHERBOARD,
+            "The server fails to complete POST after a reboot.",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- CPU ----------------------------------------------------------
+        _ft(
+            "CPUCacheErr",
+            ComponentClass.CPU,
+            "Machine-check reports cache errors on a CPU.",
+            documented=False,
+        ),
+        _ft(
+            "CPUOverheat",
+            ComponentClass.CPU,
+            "The CPU temperature exceeds the protection threshold.",
+            documented=False,
+        ),
+        # ---- Fan ----------------------------------------------------------
+        _ft(
+            "FanSpeedLow",
+            ComponentClass.FAN,
+            "A chassis fan spins below its expected RPM range.",
+            documented=False,
+        ),
+        _ft(
+            "FanStopped",
+            ComponentClass.FAN,
+            "A chassis fan reports zero RPM.",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- Power --------------------------------------------------------
+        _ft(
+            "PSUVoltageErr",
+            ComponentClass.POWER,
+            "A power supply output voltage drifts out of range.",
+            documented=False,
+        ),
+        _ft(
+            "PSUFail",
+            ComponentClass.POWER,
+            "A power supply unit stops supplying power.",
+            fatal=True,
+            documented=False,
+        ),
+        _ft(
+            "PSUInputLost",
+            ComponentClass.POWER,
+            "A power supply loses its input feed (e.g. a PDU outage, "
+            "batch failure Case 3, Section V-A).",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- HDD backboard -------------------------------------------------
+        _ft(
+            "BackboardErr",
+            ComponentClass.HDD_BACKBOARD,
+            "The HDD backboard reports link errors on multiple slots.",
+            fatal=True,
+            documented=False,
+        ),
+        # ---- Miscellaneous (Section II-A prose) -----------------------------
+        _ft(
+            "ManualNoDescription",
+            ComponentClass.MISC,
+            "Manually entered ticket without any description "
+            "(44 % of miscellaneous FOTs).",
+        ),
+        _ft(
+            "ManualSuspectHDD",
+            ComponentClass.MISC,
+            "Manually entered ticket the operator suspects to be hard "
+            "drive related (~25 % of miscellaneous FOTs).",
+        ),
+        _ft(
+            "ManualServerCrash",
+            ComponentClass.MISC,
+            "Manually entered ticket marked 'server crash' without a "
+            "clear reason (~25 % of miscellaneous FOTs).",
+            fatal=True,
+        ),
+        _ft(
+            "ManualOther",
+            ComponentClass.MISC,
+            "Any other manually entered problem description.",
+            documented=False,
+        ),
+    ]
+}
+
+
+def failure_types_for(component: ComponentClass) -> List[FailureType]:
+    """All registered failure types of one component class."""
+    return [ft for ft in REGISTRY.values() if ft.component is component]
+
+
+def get(name: str) -> FailureType:
+    """Look up a failure type by name, raising ``KeyError`` with the
+    offending name if it is unknown."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown failure type: {name!r}") from None
+
+
+def table_iii_rows() -> List[Tuple[str, str, str]]:
+    """Rows of Table III: (failure type, component class, explanation),
+    restricted to the types the paper documents verbatim."""
+    return [
+        (ft.name, ft.component.value, ft.explanation)
+        for ft in REGISTRY.values()
+        if ft.documented
+    ]
+
+
+__all__ = ["FailureType", "REGISTRY", "failure_types_for", "get", "table_iii_rows"]

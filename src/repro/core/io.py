@@ -1,0 +1,195 @@
+"""Serialization of FOT datasets.
+
+Two interchange formats are supported:
+
+* **JSONL** — one JSON object per ticket, lossless (including the
+  free-form ``detail`` dict).
+* **CSV** — flat columns matching the paper's field names, for loading a
+  real ticket dump into the toolkit; the ``detail`` dict is dropped.
+
+Both loaders validate categorical fields and raise ``ValueError`` with
+the offending line number, so a malformed real-world dump fails loudly
+instead of skewing statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.dataset import FOTDataset
+from repro.core.ticket import FOT
+from repro.core.types import (
+    ComponentClass,
+    DetectionSource,
+    FOTCategory,
+    OperatorAction,
+)
+
+CSV_FIELDS = [
+    "fot_id",
+    "host_id",
+    "hostname",
+    "host_idc",
+    "error_device",
+    "error_type",
+    "error_time",
+    "error_position",
+    "error_detail",
+    "category",
+    "source",
+    "product_line",
+    "deployed_at",
+    "device_slot",
+    "action",
+    "operator_id",
+    "op_time",
+]
+
+
+def _ticket_to_record(ticket: FOT, include_detail: bool) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "fot_id": ticket.fot_id,
+        "host_id": ticket.host_id,
+        "hostname": ticket.hostname,
+        "host_idc": ticket.host_idc,
+        "error_device": ticket.error_device.value,
+        "error_type": ticket.error_type,
+        "error_time": ticket.error_time,
+        "error_position": ticket.error_position,
+        "error_detail": ticket.error_detail,
+        "category": ticket.category.value,
+        "source": ticket.source.value,
+        "product_line": ticket.product_line,
+        "deployed_at": ticket.deployed_at,
+        "device_slot": ticket.device_slot,
+        "action": ticket.action.value if ticket.action else "",
+        "operator_id": ticket.operator_id or "",
+        "op_time": "" if ticket.op_time is None else ticket.op_time,
+    }
+    if include_detail:
+        record["detail"] = ticket.detail
+    return record
+
+
+def _record_to_ticket(record: Dict[str, object], line: int) -> FOT:
+    def require(key: str) -> object:
+        if key not in record or record[key] in ("", None):
+            raise ValueError(f"line {line}: missing required field {key!r}")
+        return record[key]
+
+    def optional_float(key: str) -> Optional[float]:
+        value = record.get(key)
+        if value in ("", None):
+            return None
+        return float(value)  # type: ignore[arg-type]
+
+    try:
+        action_raw = record.get("action") or ""
+        return FOT(
+            fot_id=int(require("fot_id")),  # type: ignore[arg-type]
+            host_id=int(require("host_id")),  # type: ignore[arg-type]
+            hostname=str(require("hostname")),
+            host_idc=str(require("host_idc")),
+            error_device=ComponentClass(str(require("error_device"))),
+            error_type=str(require("error_type")),
+            error_time=float(require("error_time")),  # type: ignore[arg-type]
+            error_position=int(require("error_position")),  # type: ignore[arg-type]
+            error_detail=str(record.get("error_detail", "")),
+            category=FOTCategory(str(require("category"))),
+            source=DetectionSource(str(require("source"))),
+            product_line=str(require("product_line")),
+            deployed_at=float(require("deployed_at")),  # type: ignore[arg-type]
+            device_slot=int(record.get("device_slot", 0) or 0),  # type: ignore[arg-type]
+            action=OperatorAction(str(action_raw)) if action_raw else None,
+            operator_id=str(record["operator_id"]) if record.get("operator_id") else None,
+            op_time=optional_float("op_time"),
+            detail=dict(record.get("detail") or {}),  # type: ignore[arg-type]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"line {line}: malformed ticket record: {exc}") from exc
+
+
+def save_jsonl(dataset: FOTDataset, path: Union[str, Path]) -> None:
+    """Write one JSON object per ticket (lossless)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for ticket in dataset:
+            fh.write(json.dumps(_ticket_to_record(ticket, include_detail=True)))
+            fh.write("\n")
+
+
+def load_jsonl(path: Union[str, Path]) -> FOTDataset:
+    """Load a JSONL ticket dump written by :func:`save_jsonl`."""
+    path = Path(path)
+    tickets = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {line_no}: invalid JSON: {exc}") from exc
+            tickets.append(_record_to_ticket(record, line_no))
+    return FOTDataset(tickets)
+
+
+def save_csv(dataset: FOTDataset, path: Union[str, Path]) -> None:
+    """Write a flat CSV (drops the ``detail`` dict)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for ticket in dataset:
+            writer.writerow(_ticket_to_record(ticket, include_detail=False))
+
+
+def load_csv(path: Union[str, Path]) -> FOTDataset:
+    """Load a CSV ticket dump written by :func:`save_csv` (or a real
+    dump exported with the same column names)."""
+    path = Path(path)
+    tickets = []
+    with path.open("r", encoding="utf-8", newline="") as fh:
+        reader = csv.DictReader(fh)
+        missing = set(CSV_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"CSV is missing columns: {sorted(missing)}")
+        for line_no, row in enumerate(reader, start=2):
+            tickets.append(_record_to_ticket(row, line_no))
+    return FOTDataset(tickets)
+
+
+def save(dataset: FOTDataset, path: Union[str, Path]) -> None:
+    """Dispatch on file suffix (``.jsonl`` / ``.csv``)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        save_jsonl(dataset, path)
+    elif path.suffix == ".csv":
+        save_csv(dataset, path)
+    else:
+        raise ValueError(f"unsupported dataset format: {path.suffix!r}")
+
+
+def load(path: Union[str, Path]) -> FOTDataset:
+    """Dispatch on file suffix (``.jsonl`` / ``.csv``)."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return load_jsonl(path)
+    if path.suffix == ".csv":
+        return load_csv(path)
+    raise ValueError(f"unsupported dataset format: {path.suffix!r}")
+
+
+__all__ = [
+    "CSV_FIELDS",
+    "save",
+    "load",
+    "save_jsonl",
+    "load_jsonl",
+    "save_csv",
+    "load_csv",
+]

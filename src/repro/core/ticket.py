@@ -1,0 +1,123 @@
+"""The failure operation ticket (FOT) record.
+
+Section II of the paper lists the fields every FOT carries: ``id``,
+``host_id``, ``hostname``, ``host_idc``, ``error_device``, ``error_type``,
+``error_time``, ``error_position``, ``error_detail`` — plus, for tickets
+in D_fixing and D_falsealarm, the action taken, the operator's user ID and
+the ``op_time`` of the action.
+
+The reproduction adds a few fields the paper's analyses need but obtains
+from server metadata rather than the ticket itself (product line, server
+deployment time, component slot), and keeps them on the ticket for
+convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.core.types import (
+    ComponentClass,
+    DetectionSource,
+    FOTCategory,
+    OperatorAction,
+)
+
+
+@dataclass(frozen=True)
+class FOT:
+    """One failure operation ticket.
+
+    Attributes:
+        fot_id: Unique ticket id.
+        host_id: Numeric server id (unique fleet-wide).
+        hostname: Human-readable server name.
+        host_idc: Data center (IDC) name the server lives in.
+        error_device: Component class the failure was reported against.
+        error_type: Failure type name (see :mod:`repro.core.failure_types`).
+        error_time: Failure detection timestamp (seconds since trace epoch).
+        error_position: Rack slot number of the server, 0-based.
+        error_detail: Free-form detail string (device path, sensor, ...).
+        category: Ticket category (Table I).
+        source: How the ticket entered the FMS (syslog/polling/manual).
+        product_line: Product line that owns the server.
+        deployed_at: Server deployment timestamp (for lifecycle analysis).
+        device_slot: Component slot index on the server (e.g. which of the
+            twelve drives); lets repeat analysis tell components apart.
+        action: Operator's closing action; ``None`` while still open or
+            for D_error tickets the reproduction closes implicitly.
+        operator_id: Operator user id for the closing action.
+        op_time: Timestamp the operator closed the ticket (issued the RO
+            or marked it not-fixing); ``None`` for unhandled tickets.
+        detail: Extra metadata (simulator ground truth such as the batch
+            event id); analyses never rely on it.
+    """
+
+    fot_id: int
+    host_id: int
+    hostname: str
+    host_idc: str
+    error_device: ComponentClass
+    error_type: str
+    error_time: float
+    error_position: int
+    error_detail: str
+    category: FOTCategory
+    source: DetectionSource
+    product_line: str
+    deployed_at: float
+    device_slot: int = 0
+    action: Optional[OperatorAction] = None
+    operator_id: Optional[str] = None
+    op_time: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.error_time < 0:
+            raise ValueError(f"error_time must be >= 0, got {self.error_time}")
+        if self.op_time is not None and self.op_time < self.error_time:
+            raise ValueError(
+                "op_time must not precede error_time "
+                f"({self.op_time} < {self.error_time})"
+            )
+
+    @property
+    def is_failure(self) -> bool:
+        """True for D_fixing and D_error tickets (the paper's definition
+        of a failure, Section II)."""
+        return self.category.counts_as_failure
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Operator response time ``RT = op_time - error_time`` in
+        seconds (Section VI), or ``None`` when the ticket has no
+        operator action recorded (D_error / still open)."""
+        if self.op_time is None:
+            return None
+        return self.op_time - self.error_time
+
+    @property
+    def component_key(self) -> tuple:
+        """Identity of the physical component the ticket points at."""
+        return (self.host_id, self.error_device, self.device_slot)
+
+    def close(
+        self, action: OperatorAction, operator_id: str, op_time: float
+    ) -> "FOT":
+        """Return a closed copy of this ticket.
+
+        The category is re-derived from the action so a ticket queued as a
+        candidate repair can still end up decommissioned (out-of-warranty)
+        or marked a false alarm.
+        """
+        return replace(
+            self,
+            action=action,
+            operator_id=operator_id,
+            op_time=op_time,
+            category=action.category,
+        )
+
+
+__all__ = ["FOT"]

@@ -1,0 +1,117 @@
+"""Time arithmetic for FOT timestamps.
+
+All timestamps in the library are **seconds since the trace epoch**
+(float).  The default epoch is 2013-01-01 00:00 local time, which makes a
+four-year trace end on 2016-12-31 — matching the study window of the
+paper.  Keeping timestamps numeric (instead of ``datetime`` objects) lets
+the simulator and the analyses vectorize with numpy; the helpers below
+derive calendar facets (hour of day, day of week, month of service life)
+with plain integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+
+#: Seconds in one minute / hour / day — used throughout the package.
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+#: The paper computes *monthly* failure rates; a fixed 30-day month keeps
+#: month indexing simple and reproducible.
+MONTH = 30.0 * DAY
+YEAR = 365.0 * DAY
+
+#: Calendar date of trace second 0.
+TRACE_EPOCH = datetime(2013, 1, 1)
+#: ``TRACE_EPOCH`` is a Tuesday; Monday == 0 in our day-of-week encoding.
+_EPOCH_WEEKDAY = TRACE_EPOCH.weekday()
+
+#: The paper examines D = 1411 days of data (Section V-A).
+PAPER_TRACE_DAYS = 1411
+PAPER_TRACE_SECONDS = PAPER_TRACE_DAYS * DAY
+
+
+def to_datetime(ts: float) -> datetime:
+    """Convert a trace timestamp to a calendar ``datetime``."""
+    return TRACE_EPOCH + timedelta(seconds=float(ts))
+
+
+def from_datetime(dt: datetime) -> float:
+    """Convert a calendar ``datetime`` to a trace timestamp."""
+    return (dt - TRACE_EPOCH).total_seconds()
+
+
+def day_index(ts):
+    """0-based day number of a timestamp (array-friendly)."""
+    return np.asarray(ts, dtype=float) // DAY
+
+
+def hour_of_day(ts):
+    """Hour in ``0..23`` of a timestamp (array-friendly)."""
+    return (np.asarray(ts, dtype=float) % DAY) // HOUR
+
+
+def day_of_week(ts):
+    """Day of week in ``0..6`` with Monday == 0 (array-friendly)."""
+    return (day_index(ts) + _EPOCH_WEEKDAY) % 7
+
+
+def is_weekend(ts):
+    """True for Saturday/Sunday timestamps (array-friendly)."""
+    return day_of_week(ts) >= 5
+
+
+def month_of_service(ts, deployed_at):
+    """0-based month of service life at time ``ts`` for a component
+    deployed at ``deployed_at`` (30-day months, array-friendly).
+
+    Failures that predate deployment (which the simulator never emits,
+    but a loaded real dataset might contain due to clock skew) land in
+    month 0 rather than a negative month.
+    """
+    delta = np.asarray(ts, dtype=float) - np.asarray(deployed_at, dtype=float)
+    return np.maximum(delta, 0.0) // MONTH
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable rendering used by the report tables.
+
+    >>> format_duration(90)
+    '1.5 min'
+    >>> format_duration(7 * 86400)
+    '7.0 days'
+    """
+    seconds = float(seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.1f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f} h"
+    return f"{seconds / DAY:.1f} days"
+
+
+DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "MONTH",
+    "YEAR",
+    "TRACE_EPOCH",
+    "PAPER_TRACE_DAYS",
+    "PAPER_TRACE_SECONDS",
+    "DAY_NAMES",
+    "to_datetime",
+    "from_datetime",
+    "day_index",
+    "hour_of_day",
+    "day_of_week",
+    "is_weekend",
+    "month_of_service",
+    "format_duration",
+]

@@ -1,0 +1,116 @@
+"""Enumerations shared across the whole library.
+
+These mirror the vocabulary of Section II of the paper: the nine hardware
+component classes plus the ``miscellaneous`` catch-all (ten classes the
+FMS records), the three ticket categories of Table I, and the two
+detection sources (programmatic agents vs. human operators).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ComponentClass(str, enum.Enum):
+    """Hardware component classes recorded by the FMS.
+
+    The paper's FMS covers nine hardware classes plus ``MISC`` for
+    manually entered tickets (Section II-A).  ``HDD_BACKBOARD`` appears
+    only in Table II; it is a distinct class there and so it is one here.
+    """
+
+    HDD = "hdd"
+    SSD = "ssd"
+    RAID_CARD = "raid_card"
+    FLASH_CARD = "flash_card"
+    MEMORY = "memory"
+    MOTHERBOARD = "motherboard"
+    CPU = "cpu"
+    FAN = "fan"
+    POWER = "power"
+    HDD_BACKBOARD = "hdd_backboard"
+    MISC = "miscellaneous"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_mechanical(self) -> bool:
+        """Mechanical components wear out fastest (Section III-C)."""
+        return self in (ComponentClass.HDD, ComponentClass.FAN, ComponentClass.POWER)
+
+    @classmethod
+    def hardware(cls) -> tuple["ComponentClass", ...]:
+        """All classes except the manual ``MISC`` catch-all."""
+        return tuple(c for c in cls if c is not cls.MISC)
+
+
+class FOTCategory(str, enum.Enum):
+    """Ticket categories from Table I of the paper.
+
+    * ``FIXING`` — operators issue a repair order (RO), 70.3 % of FOTs.
+    * ``ERROR`` — not repaired (typically out-of-warranty) and set to
+      decommission, 28.0 %.
+    * ``FALSE_ALARM`` — marked as a false alarm, 1.7 %.
+    """
+
+    FIXING = "d_fixing"
+    ERROR = "d_error"
+    FALSE_ALARM = "d_falsealarm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def counts_as_failure(self) -> bool:
+        """The paper counts every FOT in D_fixing or D_error as a failure."""
+        return self is not FOTCategory.FALSE_ALARM
+
+
+class DetectionSource(str, enum.Enum):
+    """How a ticket entered the FMS (Figure 1).
+
+    About 90 % of FOTs are detected automatically, either by agents
+    listening to syslogs or by agents periodically polling device status;
+    the remaining ~10 % are entered manually by operators and land in the
+    ``miscellaneous`` component class.
+    """
+
+    SYSLOG = "syslog"
+    POLLING = "polling"
+    MANUAL = "manual"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_automatic(self) -> bool:
+        return self is not DetectionSource.MANUAL
+
+
+class OperatorAction(str, enum.Enum):
+    """The handling decision an operator records when closing a ticket."""
+
+    REPAIR_ORDER = "repair_order"
+    DECOMMISSION = "decommission"
+    MARK_FALSE_ALARM = "mark_false_alarm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def category(self) -> FOTCategory:
+        """The ticket category implied by this action (Table I)."""
+        if self is OperatorAction.REPAIR_ORDER:
+            return FOTCategory.FIXING
+        if self is OperatorAction.DECOMMISSION:
+            return FOTCategory.ERROR
+        return FOTCategory.FALSE_ALARM
+
+
+__all__ = [
+    "ComponentClass",
+    "FOTCategory",
+    "DetectionSource",
+    "OperatorAction",
+]

@@ -1,0 +1,101 @@
+"""Server hardware generations and their component complements.
+
+The paper's fleet spans "generations of heterogeneous hardware, both
+commodity and custom design" deployed incrementally over several years
+(five generations for the product line in Section V-A).  Each generation
+here fixes the per-server component counts — the exposure denominators
+the lifecycle analysis divides by — plus model/firmware identifiers that
+batch-failure injectors use to pick homogeneous cohorts ("components with
+the same model and same firmware version may contain the same design
+flaws").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.core.types import ComponentClass
+
+
+@dataclass(frozen=True)
+class ServerGeneration:
+    """One hardware generation.
+
+    Attributes:
+        name: Generation identifier, e.g. ``"gen3"``.
+        component_counts: How many of each hardware component one server
+            of this generation carries.
+        hdd_model: Drive model string (cohort key for batch failures).
+        firmware: Firmware revision string (cohort key).
+        storage_heavy: True for generations aimed at batch data
+            processing (dense drive complements; these product lines run
+            the Hadoop-style workloads of Section V-A).
+    """
+
+    name: str
+    component_counts: Mapping[ComponentClass, int]
+    hdd_model: str
+    firmware: str
+    storage_heavy: bool = False
+
+    def __post_init__(self) -> None:
+        counts = dict(self.component_counts)
+        for cls, count in counts.items():
+            if cls is ComponentClass.MISC:
+                raise ValueError("MISC is not a physical component")
+            if count < 0:
+                raise ValueError(f"negative count for {cls}: {count}")
+        object.__setattr__(self, "component_counts", counts)
+
+    def count(self, component: ComponentClass) -> int:
+        """Component count per server; MISC counts as one reporting
+        surface (the server itself)."""
+        if component is ComponentClass.MISC:
+            return 1
+        return int(self.component_counts.get(component, 0))
+
+
+def _counts(
+    hdd: int,
+    ssd: int,
+    memory: int,
+    flash: int,
+) -> Dict[ComponentClass, int]:
+    return {
+        ComponentClass.HDD: hdd,
+        ComponentClass.SSD: ssd,
+        ComponentClass.MEMORY: memory,
+        ComponentClass.FLASH_CARD: flash,
+        ComponentClass.RAID_CARD: 1,
+        ComponentClass.MOTHERBOARD: 1,
+        ComponentClass.CPU: 2,
+        ComponentClass.FAN: 5,
+        ComponentClass.POWER: 2,
+        ComponentClass.HDD_BACKBOARD: 1,
+    }
+
+
+#: The five generations, oldest first.  Newer generations trade HDDs for
+#: SSDs/flash, mirroring the cost-driven hardware shifts the paper
+#: describes.
+GENERATIONS: Tuple[ServerGeneration, ...] = (
+    ServerGeneration("gen1", _counts(hdd=12, ssd=0, memory=8, flash=0), "HD-A400", "fw-1.0", storage_heavy=True),
+    ServerGeneration("gen2", _counts(hdd=12, ssd=0, memory=12, flash=1), "HD-A400", "fw-1.2", storage_heavy=True),
+    ServerGeneration("gen3", _counts(hdd=12, ssd=1, memory=12, flash=1), "HD-B210", "fw-2.0", storage_heavy=True),
+    ServerGeneration("gen4", _counts(hdd=8, ssd=2, memory=16, flash=1), "HD-B210", "fw-2.1"),
+    ServerGeneration("gen5", _counts(hdd=6, ssd=4, memory=16, flash=2), "HD-C550", "fw-3.0"),
+)
+
+_BY_NAME = {g.name: g for g in GENERATIONS}
+
+
+def generation(name: str) -> ServerGeneration:
+    """Look up a generation by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown server generation: {name!r}") from None
+
+
+__all__ = ["ServerGeneration", "GENERATIONS", "generation"]

@@ -1,0 +1,52 @@
+"""Data centers: cooling era, spatial profile, PDU topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import SpatialProfile
+from repro.fleet.rack import Rack, slot_risk_multipliers
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """One data center (IDC).
+
+    Attributes:
+        name: IDC name, e.g. ``"dc07"``.
+        built_year: Construction year; DCs built after 2014 have modern
+            cooling and a uniform spatial profile (Section IV).
+        spatial_profile: How failure risk varies with rack slot.
+        racks: The racks in deployment order.
+    """
+
+    name: str
+    built_year: int
+    spatial_profile: SpatialProfile
+    racks: Tuple[Rack, ...]
+
+    @property
+    def is_modern(self) -> bool:
+        """Built after 2014 — the paper's cut for uniform cooling."""
+        return self.built_year > 2014
+
+    @property
+    def n_slots(self) -> int:
+        if not self.racks:
+            raise ValueError(f"data center {self.name} has no racks")
+        return self.racks[0].n_slots
+
+    @property
+    def pdu_ids(self) -> List[int]:
+        """Distinct PDUs feeding this DC, sorted."""
+        return sorted({rack.pdu_id for rack in self.racks})
+
+    def slot_multipliers(self) -> np.ndarray:
+        """Per-slot failure-rate multipliers from the spatial profile."""
+        return slot_risk_multipliers(self.spatial_profile, self.n_slots)
+
+
+__all__ = ["DataCenter"]

@@ -1,0 +1,213 @@
+"""The assembled fleet with columnar views for the simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import ComponentClass
+from repro.fleet.component import GENERATIONS, ServerGeneration
+from repro.fleet.datacenter import DataCenter
+from repro.fleet.product_line import ProductLine
+from repro.fleet.server import Server
+from repro.fleet.inventory import Inventory
+
+
+class Fleet:
+    """All data centers, product lines and servers of one scenario.
+
+    Besides the object graph, the fleet exposes lazily-built columnar
+    numpy views of the per-server fields the failure sampler reads in
+    its inner loops (deployment times, slot-risk multipliers, component
+    counts), so paper-scale sampling never iterates over ``Server``
+    objects.
+    """
+
+    def __init__(
+        self,
+        datacenters: Sequence[DataCenter],
+        product_lines: Sequence[ProductLine],
+        servers: Sequence[Server],
+    ):
+        if not servers:
+            raise ValueError("a fleet needs at least one server")
+        self.datacenters: Tuple[DataCenter, ...] = tuple(datacenters)
+        self.product_lines: Dict[str, ProductLine] = {
+            pl.name: pl for pl in product_lines
+        }
+        self.servers: Tuple[Server, ...] = tuple(servers)
+        self._dc_by_name = {dc.name: dc for dc in self.datacenters}
+        self._columns: Dict[str, np.ndarray] = {}
+        self._count_columns: Dict[ComponentClass, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def datacenter(self, name: str) -> DataCenter:
+        try:
+            return self._dc_by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown data center: {name!r}") from None
+
+    def product_line(self, name: str) -> ProductLine:
+        try:
+            return self.product_lines[name]
+        except KeyError:
+            raise KeyError(f"unknown product line: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # columnar views
+    # ------------------------------------------------------------------
+    def _column(self, name: str, build) -> np.ndarray:
+        col = self._columns.get(name)
+        if col is None:
+            col = build()
+            col.setflags(write=False)
+            self._columns[name] = col
+        return col
+
+    @property
+    def deployed_ats(self) -> np.ndarray:
+        return self._column(
+            "deployed_ats",
+            lambda: np.fromiter(
+                (s.deployed_at for s in self.servers), dtype=float, count=len(self)
+            ),
+        )
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._column(
+            "positions",
+            lambda: np.fromiter(
+                (s.position for s in self.servers), dtype=np.int32, count=len(self)
+            ),
+        )
+
+    @property
+    def host_ids(self) -> np.ndarray:
+        return self._column(
+            "host_ids",
+            lambda: np.fromiter(
+                (s.host_id for s in self.servers), dtype=np.int64, count=len(self)
+            ),
+        )
+
+    @property
+    def idc_codes(self) -> np.ndarray:
+        """Index into :attr:`datacenters` per server."""
+        codes = {dc.name: i for i, dc in enumerate(self.datacenters)}
+        return self._column(
+            "idc_codes",
+            lambda: np.fromiter(
+                (codes[s.idc] for s in self.servers), dtype=np.int32, count=len(self)
+            ),
+        )
+
+    @property
+    def line_codes(self) -> np.ndarray:
+        """Index into :attr:`line_names` per server."""
+        codes = {name: i for i, name in enumerate(self.line_names)}
+        return self._column(
+            "line_codes",
+            lambda: np.fromiter(
+                (codes[s.product_line] for s in self.servers),
+                dtype=np.int32,
+                count=len(self),
+            ),
+        )
+
+    @property
+    def line_names(self) -> List[str]:
+        return sorted(self.product_lines)
+
+    @property
+    def generation_codes(self) -> np.ndarray:
+        codes = {g.name: i for i, g in enumerate(GENERATIONS)}
+        return self._column(
+            "generation_codes",
+            lambda: np.fromiter(
+                (codes[s.generation.name] for s in self.servers),
+                dtype=np.int8,
+                count=len(self),
+            ),
+        )
+
+    @property
+    def slot_risk(self) -> np.ndarray:
+        """Per-server environment multiplier from the DC spatial profile."""
+
+        def build() -> np.ndarray:
+            per_dc = {
+                dc.name: dc.slot_multipliers() for dc in self.datacenters
+            }
+            return np.fromiter(
+                (per_dc[s.idc][s.position] for s in self.servers),
+                dtype=float,
+                count=len(self),
+            )
+
+        return self._column("slot_risk", build)
+
+    def counts_for(self, component: ComponentClass) -> np.ndarray:
+        """Per-server component count."""
+        col = self._count_columns.get(component)
+        if col is None:
+            col = np.fromiter(
+                (s.component_count(component) for s in self.servers),
+                dtype=np.int32,
+                count=len(self),
+            )
+            col.setflags(write=False)
+            self._count_columns[component] = col
+        return col
+
+    # ------------------------------------------------------------------
+    def servers_of_line(self, line: str) -> List[Server]:
+        return [s for s in self.servers if s.product_line == line]
+
+    def servers_of_idc(self, idc: str) -> List[Server]:
+        return [s for s in self.servers if s.idc == idc]
+
+    def cohorts(self) -> Dict[Tuple[str, str, str], np.ndarray]:
+        """Homogeneous cohorts (idc, product line, generation) -> server
+        row indices; batch-failure injectors draw their victims from one
+        cohort ("same model, in the same cluster, serving the same
+        product line")."""
+        keys = [
+            (s.idc, s.product_line, s.generation.name) for s in self.servers
+        ]
+        buckets: Dict[Tuple[str, str, str], List[int]] = {}
+        for i, key in enumerate(keys):
+            buckets.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.int64) for k, v in buckets.items()}
+
+    def to_inventory(self) -> Inventory:
+        """Export the per-server metadata table the analyses consume.
+
+        Mirrors the paper: component counts are reported for HDD, SSD
+        and CPU only; other classes fall back to one-per-server inside
+        the analysis.
+        """
+        reported = (ComponentClass.HDD, ComponentClass.SSD, ComponentClass.CPU)
+        return Inventory(
+            host_ids=self.host_ids,
+            idcs=[s.idc for s in self.servers],
+            positions=self.positions,
+            deployed_ats=self.deployed_ats,
+            product_lines=[s.product_line for s in self.servers],
+            component_counts={c: self.counts_for(c) for c in reported},
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "servers": len(self),
+            "datacenters": len(self.datacenters),
+            "product_lines": len(self.product_lines),
+            "modern_dcs": sum(dc.is_modern for dc in self.datacenters),
+        }
+
+
+__all__ = ["Fleet"]

@@ -1,0 +1,184 @@
+"""Per-server inventory table used by the analyses.
+
+The paper's lifecycle analysis (Section III-C) divides failure counts by
+the number of properly-working components in each service-month, and the
+spatial analysis (Section IV) normalizes failures by the number of
+servers at each rack position.  Both denominators come from server
+metadata, not from the tickets — so they live in this lightweight
+columnar table, which the fleet can export and a real deployment could
+load from CSV alongside its ticket dump.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.timeutil import MONTH
+from repro.core.types import ComponentClass
+
+
+class Inventory:
+    """Columnar per-server metadata.
+
+    All arrays are parallel, one entry per server:
+
+    * ``host_ids`` — fleet-wide server ids.
+    * ``idcs`` — data center name per server.
+    * ``positions`` — rack slot per server.
+    * ``deployed_ats`` — deployment timestamps (may be negative:
+      deployed before the trace window opened).
+    * ``product_lines`` — owning product line per server.
+    * ``component_counts`` — mapping component class -> per-server count
+      array.  Classes missing from the mapping fall back to "one per
+      server", the paper's own approximation for components whose counts
+      the dataset does not report.
+    """
+
+    def __init__(
+        self,
+        host_ids: Sequence[int],
+        idcs: Sequence[str],
+        positions: Sequence[int],
+        deployed_ats: Sequence[float],
+        product_lines: Sequence[str],
+        component_counts: Optional[Mapping[ComponentClass, Sequence[int]]] = None,
+    ):
+        self.host_ids = np.asarray(host_ids, dtype=np.int64)
+        self.positions = np.asarray(positions, dtype=np.int32)
+        self.deployed_ats = np.asarray(deployed_ats, dtype=float)
+        self.idcs = list(idcs)
+        self.product_lines = list(product_lines)
+        n = self.host_ids.size
+        for name, length in [
+            ("idcs", len(self.idcs)),
+            ("positions", self.positions.size),
+            ("deployed_ats", self.deployed_ats.size),
+            ("product_lines", len(self.product_lines)),
+        ]:
+            if length != n:
+                raise ValueError(f"inventory column {name} has {length} rows, expected {n}")
+        self.component_counts: Dict[ComponentClass, np.ndarray] = {}
+        for cls, counts in (component_counts or {}).items():
+            arr = np.asarray(counts, dtype=np.int32)
+            if arr.size != n:
+                raise ValueError(f"component counts for {cls} have {arr.size} rows, expected {n}")
+            self.component_counts[cls] = arr
+        self._host_index: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.host_ids.size)
+
+    @property
+    def host_index(self) -> Dict[int, int]:
+        """host_id -> row index."""
+        if self._host_index is None:
+            self._host_index = {int(h): i for i, h in enumerate(self.host_ids)}
+        return self._host_index
+
+    def counts_for(self, component: ComponentClass) -> np.ndarray:
+        """Per-server component count, defaulting to one per server for
+        classes the inventory does not report (the paper's assumption)."""
+        counts = self.component_counts.get(component)
+        if counts is None:
+            return np.ones(len(self), dtype=np.int32)
+        return counts
+
+    # ------------------------------------------------------------------
+    # denominators for the analyses
+    # ------------------------------------------------------------------
+    def servers_per_position(self, idc: Optional[str] = None) -> np.ndarray:
+        """Server count per rack slot, optionally restricted to one DC."""
+        if idc is None:
+            positions = self.positions
+        else:
+            mask = np.fromiter(
+                (name == idc for name in self.idcs), dtype=bool, count=len(self)
+            )
+            if not mask.any():
+                raise ValueError(f"no servers in data center {idc!r}")
+            positions = self.positions[mask]
+        return np.bincount(positions).astype(float)
+
+    def component_month_exposure(
+        self,
+        component: ComponentClass,
+        n_months: int,
+        window_start: float,
+        window_end: float,
+    ) -> np.ndarray:
+        """Component-months of exposure for each month-of-service.
+
+        ``out[m]`` is the (fractional) number of components that spent
+        service-month ``m`` inside the observation window — the
+        denominator of the normalized monthly failure rate in Figure 6.
+        """
+        if window_end <= window_start:
+            raise ValueError("window must have positive length")
+        counts = self.counts_for(component).astype(float)
+        out = np.zeros(n_months, dtype=float)
+        deployed = self.deployed_ats
+        for m in range(n_months):
+            starts = deployed + m * MONTH
+            ends = starts + MONTH
+            overlap = np.minimum(ends, window_end) - np.maximum(starts, window_start)
+            frac = np.clip(overlap / MONTH, 0.0, 1.0)
+            out[m] = float((counts * frac).sum())
+        return out
+
+    def idc_names(self) -> List[str]:
+        return sorted(set(self.idcs))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    _CSV_BASE = ["host_id", "idc", "position", "deployed_at", "product_line"]
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        count_cols = sorted(self.component_counts, key=lambda c: c.value)
+        fields = self._CSV_BASE + [f"n_{c.value}" for c in count_cols]
+        with path.open("w", encoding="utf-8", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(fields)
+            for i in range(len(self)):
+                row = [
+                    int(self.host_ids[i]),
+                    self.idcs[i],
+                    int(self.positions[i]),
+                    float(self.deployed_ats[i]),
+                    self.product_lines[i],
+                ]
+                row.extend(int(self.component_counts[c][i]) for c in count_cols)
+                writer.writerow(row)
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "Inventory":
+        path = Path(path)
+        with path.open("r", encoding="utf-8", newline="") as fh:
+            reader = csv.DictReader(fh)
+            fields = reader.fieldnames or []
+            missing = set(cls._CSV_BASE) - set(fields)
+            if missing:
+                raise ValueError(f"inventory CSV missing columns: {sorted(missing)}")
+            count_cols = [
+                ComponentClass(f[2:]) for f in fields if f.startswith("n_")
+            ]
+            host_ids, idcs, positions, deployed, lines = [], [], [], [], []
+            counts: Dict[ComponentClass, List[int]] = {c: [] for c in count_cols}
+            for row in reader:
+                host_ids.append(int(row["host_id"]))
+                idcs.append(row["idc"])
+                positions.append(int(row["position"]))
+                deployed.append(float(row["deployed_at"]))
+                lines.append(row["product_line"])
+                for c in count_cols:
+                    counts[c].append(int(row[f"n_{c.value}"]))
+        return cls(host_ids, idcs, positions, deployed, lines, counts)
+
+
+__all__ = ["Inventory"]

@@ -1,0 +1,58 @@
+"""Product lines: ownership, workload style and fault-tolerance level.
+
+Section VI of the paper ties operator behaviour to the product line:
+lines with highly resilient software (large Hadoop-style clusters)
+tolerate long response times, crucial user-facing online services with
+SSDs have strict operation guidelines and respond within hours.  The
+:class:`ProductLine` record carries exactly the attributes that drive
+those behaviours in the operator model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProductLine:
+    """One product line.
+
+    Attributes:
+        name: Line name, e.g. ``"pl042"``.
+        workload: ``"batch"`` (Hadoop-style data processing),
+            ``"online"`` (user-facing service) or ``"storage"``
+            (distributed storage).
+        fault_tolerance: In ``[0, 1]``; higher means better software
+            redundancy — and therefore *slower* operator response (the
+            paper's inversion of the MTTR doctrine).
+        review_interval_days: Operators of lazy lines only review the
+            failure pool periodically and process tickets in batches;
+            this is that period (0 = continuous attention).
+        expected_servers: Nominal size used by the builder when
+            partitioning servers.
+    """
+
+    name: str
+    workload: str
+    fault_tolerance: float
+    review_interval_days: float
+    expected_servers: int
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("batch", "online", "storage"):
+            raise ValueError(f"unknown workload kind: {self.workload!r}")
+        if not 0.0 <= self.fault_tolerance <= 1.0:
+            raise ValueError(
+                f"fault_tolerance must be in [0, 1], got {self.fault_tolerance}"
+            )
+        if self.review_interval_days < 0:
+            raise ValueError("review interval cannot be negative")
+        if self.expected_servers <= 0:
+            raise ValueError("a product line must own at least one server")
+
+    @property
+    def is_batch(self) -> bool:
+        return self.workload == "batch"
+
+
+__all__ = ["ProductLine"]

@@ -1,0 +1,23 @@
+"""Failure Management System (FMS) substrate.
+
+Implements the workflow of Figure 1 in the paper: detection agents on
+the hosts (syslog listeners and status pollers) plus manual operator
+reports feed a central ticket store; operators review the failure pool
+— often lazily and in batches — and close each ticket with a repair
+order, a decommission decision, or a false-alarm mark.
+
+* :mod:`repro.fms.detectors` — detection sources and the hour-of-day /
+  day-of-week detection profiles (log-based detection fires under load).
+* :mod:`repro.fms.operators` — the operator response-time model.
+* :mod:`repro.fms.repair` — repair effectiveness and repeat scheduling.
+* :mod:`repro.fms.pipeline` — the event-driven pipeline turning raw
+  failures into closed FOTs.
+"""
+
+from repro.fms.detectors import DetectionModel
+from repro.fms.operators import OperatorModel
+from repro.fms.repair import RepairModel
+from repro.fms.pipeline import FMSPipeline
+from repro.fms import probing
+
+__all__ = ["DetectionModel", "OperatorModel", "RepairModel", "FMSPipeline", "probing"]

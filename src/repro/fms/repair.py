@@ -1,0 +1,74 @@
+"""Repair effectiveness and repeat scheduling — Section III-D.
+
+Operators "repair" a component by replacing the whole module, which
+works most of the time: over 85 % of fixed components never repeat the
+same failure.  When the replacement does not address the root cause
+(a flapping BBU, a marginal backboard), the same failure comes back —
+and for "lemon" servers it comes back again and again, because each
+automatic reboot marks the ticket solved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.timeutil import DAY
+from repro.simulation import calibration
+
+
+class RepairModel:
+    """Decides whether a repaired component fails again, and when."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def repeat_delay(self, is_lemon: bool, chain_length: int) -> Optional[float]:
+        """Seconds from ticket close to the repeat failure, or ``None``
+        when the repair sticks.
+
+        Args:
+            is_lemon: Server whose root cause replacements never fix.
+            chain_length: How many times this component has already
+                repeated (0 = the original failure).
+        """
+        if chain_length < 0:
+            raise ValueError("chain_length must be >= 0")
+        if is_lemon:
+            if chain_length >= calibration.MAX_CHAIN_LEMON:
+                # Someone finally diagnoses the root cause (the BBU).
+                return None
+            prob = (
+                calibration.REPEAT_PROB_LEMON
+                if chain_length == 0
+                else calibration.REPEAT_PROB_LEMON_CONT
+            )
+            median = calibration.REPEAT_DELAY_MEDIAN_DAYS_LEMON * DAY
+        else:
+            if chain_length >= calibration.MAX_CHAIN_NORMAL:
+                return None
+            prob = (
+                calibration.REPEAT_PROB_NORMAL
+                if chain_length == 0
+                else calibration.REPEAT_PROB_NORMAL_CONT
+            )
+            median = calibration.REPEAT_DELAY_MEDIAN_DAYS * DAY
+
+        if self._rng.random() >= prob:
+            return None
+        return float(
+            self._rng.lognormal(np.log(median), calibration.REPEAT_DELAY_SIGMA)
+        )
+
+    def expected_repeats(self, is_lemon: bool) -> float:
+        """Expected chain length (repeats per original failure) — used
+        by tests to sanity-check the geometric model."""
+        if is_lemon:
+            p0, pc = calibration.REPEAT_PROB_LEMON, calibration.REPEAT_PROB_LEMON_CONT
+        else:
+            p0, pc = calibration.REPEAT_PROB_NORMAL, calibration.REPEAT_PROB_NORMAL_CONT
+        return p0 / (1.0 - pc)
+
+
+__all__ = ["RepairModel"]

@@ -1,0 +1,370 @@
+"""Calibration constants and the paper targets they aim at.
+
+Everything the synthetic trace is tuned by lives here, next to the
+number from the paper it is trying to reproduce.  Values quoted directly
+from the paper are marked ``# paper:``; values the paper reports only as
+a figure shape (e.g. the Figure 2 type mixes) are plausible choices
+documented as such.
+
+The benchmarks print *paper vs. measured* for each target; EXPERIMENTS.md
+records the comparison for the committed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.types import ComponentClass as C
+
+# ---------------------------------------------------------------------------
+# Table I — FOT category breakdown.
+# ---------------------------------------------------------------------------
+#: paper: 1.7 % of FOTs are false alarms ("extremely low", Table I).
+FALSE_ALARM_RATE = 0.017
+#: paper: 28.0 % of FOTs are D_error — unrepaired, mostly out-of-warranty.
+#: Not a direct knob: it emerges from the warranty term and fleet ages;
+#: recorded here as the target.
+TARGET_ERROR_SHARE = 0.280
+TARGET_FIXING_SHARE = 0.703
+
+# ---------------------------------------------------------------------------
+# Table II — failure share by component class (D_fixing + D_error).
+# ---------------------------------------------------------------------------
+COMPONENT_MIX: Dict[C, float] = {
+    C.HDD: 0.8184,            # paper: 81.84 %
+    C.MISC: 0.1020,           # paper: 10.20 %
+    C.MEMORY: 0.0306,         # paper: 3.06 %
+    C.POWER: 0.0174,          # paper: 1.74 %
+    C.RAID_CARD: 0.0123,      # paper: 1.23 %
+    C.FLASH_CARD: 0.0067,     # paper: 0.67 %
+    C.MOTHERBOARD: 0.0057,    # paper: 0.57 %
+    C.SSD: 0.0031,            # paper: 0.31 %
+    C.FAN: 0.0019,            # paper: 0.19 %
+    C.HDD_BACKBOARD: 0.0014,  # paper: 0.14 %
+    C.CPU: 0.0004,            # paper: 0.04 %
+}
+
+# ---------------------------------------------------------------------------
+# Figure 2 — failure-type mix within each class.  The paper plots these
+# without printing numbers; mixes below are plausible choices consistent
+# with the prose (SMART-style predictive alerts dominate HDDs; correctable
+# DIMM errors outnumber uncorrectable; 44/25/25 split for miscellaneous).
+# ---------------------------------------------------------------------------
+TYPE_MIX: Dict[C, Dict[str, float]] = {
+    C.HDD: {
+        "SMARTFail": 0.38,
+        "RaidPdPreErr": 0.17,
+        "Missing": 0.12,
+        "NotReady": 0.09,
+        "PendingLBA": 0.08,
+        "TooMany": 0.07,
+        "DStatus": 0.05,
+        "SixthFixing": 0.04,
+    },
+    C.RAID_CARD: {
+        "RaidVdNoBBUCacheErr": 0.52,
+        "BBUFail": 0.30,
+        "RaidCtrlMissing": 0.18,
+    },
+    C.FLASH_CARD: {"HighMaxBbRate": 0.45, "BBTFail": 0.35, "FlashIOErr": 0.20},
+    C.MEMORY: {"DIMMCE": 0.62, "DIMMUE": 0.38},
+    C.SSD: {"SSDSMARTFail": 0.50, "SSDWearHigh": 0.30, "SSDNotReady": 0.20},
+    C.MOTHERBOARD: {"SASCardErr": 0.40, "MBSensorErr": 0.35, "MBNoPost": 0.25},
+    C.CPU: {"CPUCacheErr": 0.70, "CPUOverheat": 0.30},
+    C.FAN: {"FanSpeedLow": 0.60, "FanStopped": 0.40},
+    C.POWER: {"PSUVoltageErr": 0.35, "PSUFail": 0.40, "PSUInputLost": 0.25},
+    C.HDD_BACKBOARD: {"BackboardErr": 1.0},
+    C.MISC: {
+        "ManualNoDescription": 0.44,   # paper: no description in 44 %
+        "ManualSuspectHDD": 0.25,      # paper: ~25 % suspected HDD
+        "ManualServerCrash": 0.25,     # paper: ~25 % "server crashes"
+        "ManualOther": 0.06,
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Figure 6 — lifecycle shapes.  Relative hazard vs. service month as
+# (month, value) breakpoints, linearly interpolated and flat beyond the
+# last point.  Normalization is irrelevant (base rates are re-scaled to
+# hit COMPONENT_MIX); only the *shape* matters.
+# ---------------------------------------------------------------------------
+LIFECYCLE_BREAKPOINTS: Dict[C, Tuple[Tuple[float, float], ...]] = {
+    # paper: HDD infant mortality in the first 3 months, ~20 % above the
+    # 4th-9th month level; rates rise from month 6 onward.
+    C.HDD: ((0, 1.2), (2, 1.2), (3, 1.0), (6, 1.0), (12, 1.3), (24, 2.0),
+            (36, 2.8), (48, 3.4), (84, 3.6)),
+    # paper: memory stable during year 1, higher from the 2nd-4th year.
+    C.MEMORY: ((0, 1.0), (12, 1.0), (24, 1.6), (48, 2.6), (84, 2.7)),
+    # paper: 72.1 % of motherboard failures occur 3+ years after deploy.
+    C.MOTHERBOARD: ((0, 0.04), (24, 0.06), (30, 0.3), (36, 2.5), (48, 8.0),
+                    (84, 16.0)),
+    C.SSD: ((0, 1.0), (6, 0.8), (24, 1.0), (48, 1.6), (84, 2.0)),
+    # paper: only 1.4 % of flash failures in the first 12 months, then a
+    # fast rise (strong correlated wear-out).
+    C.FLASH_CARD: ((0, 0.02), (12, 0.03), (18, 0.5), (24, 1.2), (36, 2.4),
+                   (48, 3.2), (84, 3.4)),
+    # paper: RAID cards show strong infant mortality — 47.4 % of failures
+    # within the first six months of the first fifty.
+    C.RAID_CARD: ((0, 8.5), (5, 8.5), (6, 1.0), (48, 1.2), (84, 1.4)),
+    C.FAN: ((0, 0.4), (12, 0.5), (24, 1.0), (48, 1.8), (84, 2.0)),
+    C.POWER: ((0, 0.4), (12, 0.5), (24, 1.0), (48, 1.7), (84, 1.9)),
+    C.CPU: ((0, 0.8), (24, 1.0), (84, 1.4)),
+    C.HDD_BACKBOARD: ((0, 0.6), (24, 1.0), (84, 1.5)),
+    # paper: miscellaneous rates extremely high within the first month
+    # (manual debugging at deployment), then stable.
+    C.MISC: ((0, 12.0), (1, 1.0), (84, 1.0)),
+}
+
+# ---------------------------------------------------------------------------
+# Figures 3/4 — temporal detection profiles.
+# ---------------------------------------------------------------------------
+#: Diurnal workload intensity by hour (0-23), relative.  Log-based
+#: detection fires when the component gets used, so workload-coupled
+#: classes inherit this curve (Section III-A, possible reason 1).
+WORKLOAD_BY_HOUR: Tuple[float, ...] = (
+    0.95, 0.90, 0.85, 0.75, 0.60, 0.55, 0.60, 0.75,
+    0.95, 1.10, 1.20, 1.25, 1.20, 1.15, 1.20, 1.25,
+    1.25, 1.20, 1.15, 1.20, 1.25, 1.20, 1.10, 1.00,
+)
+#: How strongly each class's detection follows workload (0 = flat).
+WORKLOAD_COUPLING: Dict[C, float] = {
+    C.HDD: 0.9, C.MEMORY: 0.9, C.FLASH_CARD: 0.7, C.SSD: 0.7,
+    C.RAID_CARD: 0.3, C.MOTHERBOARD: 0.2, C.CPU: 0.4,
+    C.FAN: 0.0, C.POWER: 0.0, C.HDD_BACKBOARD: 0.2, C.MISC: 0.0,
+}
+#: Status polling period in hours for agent-polled classes; detections
+#: bunch up right after each poll tick.
+POLLING_PERIOD_HOURS = 4
+POLLING_CLASSES = (C.FAN, C.POWER, C.MOTHERBOARD, C.RAID_CARD,
+                   C.CPU, C.HDD_BACKBOARD)
+#: Share of a polled class's detections that land in the poll-tick hour.
+POLLING_CONCENTRATION = 0.55
+
+#: Hour profile for manual (miscellaneous) reports: working hours.
+MANUAL_HOURS: Tuple[float, ...] = (
+    0.15, 0.10, 0.08, 0.08, 0.08, 0.10, 0.20, 0.40,
+    0.90, 1.60, 1.90, 1.80, 1.20, 1.30, 1.80, 1.90,
+    1.80, 1.60, 1.20, 0.90, 0.70, 0.50, 0.35, 0.25,
+)
+
+#: Day-of-week multipliers (Mon..Sun).  Manual reporting needs the human
+#: in the loop; automatic detection follows workload, which dips on
+#: weekends.
+DOW_MANUAL: Tuple[float, ...] = (1.25, 1.10, 1.05, 1.05, 1.00, 0.45, 0.40)
+DOW_AUTOMATIC: Tuple[float, ...] = (1.10, 1.05, 1.03, 1.02, 1.00, 0.84, 0.81)
+
+# ---------------------------------------------------------------------------
+# Table V / Figure 5 — daily overdispersion.  A shared lognormal "day
+# effect" (mean 1, per class, per day) makes daily counts spiky enough
+# that no smooth TBF family fits and r_N matches the batch-frequency
+# table.
+# ---------------------------------------------------------------------------
+DAY_EFFECT_SIGMA: Dict[C, float] = {
+    C.HDD: 0.72, C.MISC: 0.65, C.MEMORY: 0.55, C.POWER: 0.85,
+    C.RAID_CARD: 0.95, C.FLASH_CARD: 1.35, C.MOTHERBOARD: 0.65,
+    C.SSD: 0.60, C.FAN: 0.70, C.HDD_BACKBOARD: 0.60, C.CPU: 0.50,
+}
+
+# ---------------------------------------------------------------------------
+# Figure 7 — failure concentration across servers.
+# ---------------------------------------------------------------------------
+#: Per-server lognormal frailty sigma (mean 1).  Large values concentrate
+#: failures on few servers ("failures are extremely non-uniformly
+#: distributed among the individual servers").
+FRAILTY_SIGMA = 1.5
+#: Frailty multipliers are clipped here: a server cannot plausibly burn
+#: through more than a few dozen drives from hazard alone (the extreme
+#: per-server counts come from repeat chains, not raw hazard).
+FRAILTY_CLIP = 60.0
+#: Fraction of servers that are "lemons": their repairs are ineffective
+#: (BBU-style root causes) so failures repeat in long chains.
+LEMON_FRACTION = 0.015
+#: paper: ~4.5 % of ever-failed servers suffer repeating failures, and
+#: >85 % of fixed components never repeat.  Repeat probabilities below
+#: are chosen to land near those numbers.
+REPEAT_PROB_NORMAL = 0.012
+REPEAT_PROB_NORMAL_CONT = 0.50   # chance each repeat spawns another
+REPEAT_PROB_LEMON = 0.92
+REPEAT_PROB_LEMON_CONT = 0.94
+#: Chains stop once the root cause is (finally) diagnosed and fixed.
+MAX_CHAIN_NORMAL = 4
+MAX_CHAIN_LEMON = 35
+#: Chance a *recurring warning* comes back as a fatal failure instead
+#: (SMART alerts precede dead drives — Section III-A); this is the
+#: signal the paper's failure-prediction tool exploits.
+ESCALATION_PROB = 0.35
+#: Median delay from ticket close to the repeat failure.
+REPEAT_DELAY_MEDIAN_DAYS = 2.0
+REPEAT_DELAY_MEDIAN_DAYS_LEMON = 0.2
+REPEAT_DELAY_SIGMA = 1.0
+
+# ---------------------------------------------------------------------------
+# Section V-A — batch failure (storm) injection, at scale = 1.0.
+# Counts scale linearly with the scenario's ``scale``.
+# ---------------------------------------------------------------------------
+#: Number of storm-prone homogeneous cohorts (same DC + line + model).
+STORM_PRONE_COHORTS = 8
+#: SMART storms per year (Case 1 style): a cohort reports a burst of
+#: SMARTFail tickets inside a few hours.
+SMART_STORMS_PER_YEAR = 6.0
+SMART_STORM_SIZE_MEDIAN = 450.0
+SMART_STORM_SIZE_SIGMA = 0.8
+SMART_STORM_WINDOW_HOURS = 6.0
+#: One giant storm reproducing Case 1 (thousands of drives, 21:00-03:00).
+CASE1_STORM_SIZE = 3200
+#: SAS batches per year (Case 2): ~50 motherboards in two 1-hour windows.
+SAS_BATCHES_PER_YEAR = 1.0
+SAS_BATCH_SIZE = 48
+#: Correlated flash-card wear-out (Section III-C: "strong correlated
+#: wear-out phenomena"): same-batch cards hit their bad-block limits
+#: within a day or two of each other.
+FLASH_WEAROUT_PER_YEAR = 5.0
+FLASH_WEAROUT_SIZE_MEDIAN = 28.0
+FLASH_WEAROUT_WINDOW_HOURS = 36.0
+#: PDU outages per year (Case 3): every server on one PDU loses power.
+PDU_OUTAGES_PER_YEAR = 2.0
+PDU_OUTAGE_WINDOW_HOURS = 12.0
+#: Misoperation events (electricity-provider mistake, Aug 2016 anecdote).
+MISOPERATION_EVENTS = 1
+MISOPERATION_SIZE = 320
+
+# ---------------------------------------------------------------------------
+# Tables VI/VII — correlated component failures, at scale = 1.0.
+# The paper's Table VI is only partially legible; the matrix below keeps
+# its headline structure: HDD is involved in nearly all non-misc pairs,
+# misc co-reports dominate (71.5 % of two-component failures), power and
+# fan correlate (the PSU failure takes the fans down), and total volume
+# stays small (0.49 % of ever-failed servers).
+# ---------------------------------------------------------------------------
+CORRELATED_PAIR_COUNTS: Dict[Tuple[C, C], int] = {
+    (C.MISC, C.HDD): 349,
+    (C.MISC, C.MEMORY): 18,
+    (C.MISC, C.SSD): 2,
+    (C.MISC, C.RAID_CARD): 4,
+    (C.MISC, C.POWER): 6,
+    (C.MISC, C.MOTHERBOARD): 6,
+    (C.MOTHERBOARD, C.HDD): 17,
+    (C.FAN, C.HDD): 3,
+    (C.POWER, C.FAN): 7,
+    (C.POWER, C.HDD): 46,
+    (C.RAID_CARD, C.HDD): 22,
+    (C.FLASH_CARD, C.HDD): 40,
+    (C.MEMORY, C.HDD): 15,
+    (C.SSD, C.HDD): 2,
+    (C.MOTHERBOARD, C.MEMORY): 2,
+    (C.MOTHERBOARD, C.SSD): 1,
+    (C.POWER, C.MOTHERBOARD): 1,
+}
+
+# ---------------------------------------------------------------------------
+# Table VIII / Section V-C — synchronous repeating failures.
+# ---------------------------------------------------------------------------
+SYNC_GROUPS = 12            # groups of near-identical servers
+SYNC_GROUP_SIZE = 2         # servers per group
+SYNC_CHAIN_LENGTH = 6       # repeats per server
+SYNC_JITTER_SECONDS = 20.0  # how tightly the repeats line up
+#: The 400-failure web-service server with the flapping BBU
+#: (Section III-D): chain length of its injected flapping sequence.
+BBU_SERVER_CHAIN = 420
+
+# ---------------------------------------------------------------------------
+# Section VI — operator response model.
+# ---------------------------------------------------------------------------
+#: Median RT (days) per class for a median product line.  paper (Fig 10):
+#: SSD and misc respond within hours; HDD/fan/memory take 7-18 days.
+RT_CLASS_MEDIAN_DAYS: Dict[C, float] = {
+    C.HDD: 2.2, C.FAN: 6.0, C.MEMORY: 7.0, C.SSD: 0.15,
+    C.MISC: 0.6, C.POWER: 2.2, C.RAID_CARD: 1.6, C.MOTHERBOARD: 2.5,
+    C.FLASH_CARD: 1.3, C.CPU: 2.0, C.HDD_BACKBOARD: 2.5,
+}
+#: Lognormal sigma of the per-ticket RT draw.
+RT_SIGMA = 1.95
+#: Line-level multiplier: fault-tolerant software makes operators slow.
+#: multiplier = RT_FT_BASE + RT_FT_GAIN * fault_tolerance^2.
+RT_FT_BASE = 0.30
+RT_FT_GAIN = 2.6
+#: Probability a ticket waits for the line's periodic pool review on top
+#: of the base draw ("operators only periodically review the failure
+#: pool and process failures in batches").  Fault-tolerant lines batch
+#: more: prob = BASE + FT_GAIN * fault_tolerance, capped at 0.9.
+RT_BATCHING_BASE = 0.20
+RT_BATCHING_FT_GAIN = 0.45
+#: Fraction of lines (largest by server count) treated as the "top 1 %";
+#: paper (Fig 11): their median HDD RT is ~47 days.
+TOP_LINE_FRACTION = 0.01
+TOP_LINE_REVIEW_DAYS = (80.0, 130.0)
+#: Deployment-phase fast path: misc tickets on servers younger than this
+#: close within hours (installation/testing streamlining).
+DEPLOYMENT_PHASE_DAYS = 60.0
+DEPLOYMENT_RT_MEDIAN_DAYS = 0.15
+#: False-alarm RT (Fig 9): median 4.9 days, mean 19.1 days.
+FALSE_ALARM_RT_MEDIAN_DAYS = 4.9
+FALSE_ALARM_RT_SIGMA = 1.65
+#: Operators per product line team (annual turnover >50 % in the paper;
+#: ids are opaque).
+OPERATORS_PER_LINE = 4
+#: Lemon tickets are "solved" by an automatic reboot almost immediately.
+LEMON_RT_MEDIAN_DAYS = 0.08
+
+# ---------------------------------------------------------------------------
+# Base-process bookkeeping: share of each class's target count reserved
+# for injectors and FMS-generated repeats, so the grand totals still land
+# near the target mix.
+# ---------------------------------------------------------------------------
+BASE_BUDGET_FACTOR: Dict[C, float] = {
+    C.HDD: 0.82, C.MISC: 0.93, C.MEMORY: 0.92, C.POWER: 0.80,
+    C.RAID_CARD: 0.72, C.FLASH_CARD: 0.62, C.MOTHERBOARD: 0.85,
+    C.SSD: 0.92, C.FAN: 0.85, C.HDD_BACKBOARD: 0.95, C.CPU: 0.95,
+}
+
+# ---------------------------------------------------------------------------
+# Paper headline targets used by EXPERIMENTS.md and the benchmarks.
+# ---------------------------------------------------------------------------
+PAPER_TARGETS: Dict[str, object] = {
+    "total_fots": 290_000,
+    "category_split": {"d_fixing": 0.703, "d_error": 0.280, "d_falsealarm": 0.017},
+    "mtbf_overall_minutes": 6.8,
+    "mtbf_per_dc_minutes": (32.0, 390.0),
+    "hdd_share": 0.8184,
+    "raid_infant_share_6mo": 0.474,
+    "motherboard_share_after_36mo": 0.721,
+    "flash_share_first_12mo": 0.014,
+    "hdd_infant_uplift": 0.20,
+    "repeat_free_fixed_components": 0.85,
+    "repeating_server_share": 0.045,
+    "batch_r100_hdd": 0.554,
+    "batch_r200_hdd": 0.225,
+    "batch_r500_hdd": 0.025,
+    "correlated_server_share": 0.0049,
+    "correlated_misc_share": 0.715,
+    "rt_fixing_median_days": 6.1,
+    "rt_fixing_mean_days": 42.2,
+    "rt_falsealarm_median_days": 4.9,
+    "rt_falsealarm_mean_days": 19.1,
+    "rt_tail_140d": 0.10,
+    "rt_tail_200d": 0.02,
+    "top_line_median_rt_days": 47.0,
+    "spatial_reject_001": 10 / 24,
+    "spatial_reject_005": 14 / 24,
+}
+
+
+def validate() -> None:
+    """Sanity-check internal consistency of the calibration tables."""
+    mix_total = sum(COMPONENT_MIX.values())
+    if abs(mix_total - 1.0) > 0.001:
+        raise ValueError(f"COMPONENT_MIX sums to {mix_total}, expected 1.0")
+    for cls, mix in TYPE_MIX.items():
+        total = sum(mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"TYPE_MIX[{cls}] sums to {total}, expected 1.0")
+    for cls in COMPONENT_MIX:
+        if cls not in LIFECYCLE_BREAKPOINTS:
+            raise ValueError(f"no lifecycle shape for {cls}")
+        if cls not in TYPE_MIX:
+            raise ValueError(f"no type mix for {cls}")
+
+
+validate()
+
+__all__ = [name for name in dir() if name.isupper()] + ["validate"]

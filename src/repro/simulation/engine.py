@@ -1,0 +1,81 @@
+"""A small discrete-event core.
+
+The FMS pipeline consumes hundreds of thousands of pre-generated failure
+events *and* dynamically schedules new ones (repeat failures after an
+ineffective repair), so it needs a proper event queue rather than a
+sorted list: :class:`EventQueue` is a heap keyed by (time, sequence)
+with stable FIFO ordering for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterable, Iterator, Optional, Tuple
+
+
+class EventQueue:
+    """Time-ordered event queue with stable tie-breaking.
+
+    Payloads are opaque; only the scheduling timestamp matters.  Popping
+    in the past is impossible by construction; scheduling in the past
+    (relative to the last pop) raises, which catches causality bugs in
+    event producers early.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._now = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recently popped event."""
+        return self._now
+
+    def schedule(self, time: float, payload: Any) -> None:
+        """Add an event at ``time``.
+
+        ``time`` may equal the current time (same-timestamp cascades are
+        fine) but not precede it.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} — the clock is already at {self._now}"
+            )
+        heapq.heappush(self._heap, (float(time), next(self._counter), payload))
+
+    def schedule_all(self, events: Iterable[Tuple[float, Any]]) -> None:
+        for time, payload in events:
+            self.schedule(time, payload)
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest (time, payload)."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def drain(self) -> Iterator[Tuple[float, Any]]:
+        """Iterate (time, payload) in time order until the queue empties.
+
+        New events scheduled *during* iteration are delivered in their
+        proper order — this is the property the repeat-failure chains
+        rely on.
+        """
+        while self._heap:
+            yield self.pop()
+
+
+__all__ = ["EventQueue"]

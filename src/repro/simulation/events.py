@@ -1,0 +1,56 @@
+"""Raw failure events — the simulator's intermediate representation.
+
+The base process and the injectors all emit :class:`RawFailure` records;
+the FMS pipeline then turns them into tickets (assigning detection
+source, category, operator response) and may append more raw failures of
+its own when a repair proves ineffective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.types import ComponentClass
+
+
+@dataclass(frozen=True, order=True)
+class RawFailure:
+    """One component failure before FMS processing.
+
+    Ordering is by time so event lists can be heapified/sorted directly.
+
+    Attributes:
+        time: Detection timestamp (seconds since trace epoch).
+        server_row: Row index of the server in the fleet (NOT host_id).
+        component: Failing component class.
+        slot: Component slot index on the server.
+        forced_type: Failure type forced by an injector (e.g. a SMART
+            storm emits only ``SMARTFail``); ``None`` means "draw from
+            the class's type mix".
+        tag: Ground-truth label of the generating mechanism ("base",
+            "smart_storm:3", "pdu_outage:1", "flapping", ...).  Analyses
+            never read it; validation tests do.
+        chain_id: Repeat-chain identifier when this failure is part of a
+            pre-materialized repeat sequence, else ``None``.
+        suppress_repeat: True when the FMS must not grow a repeat chain
+            from this failure (it already belongs to an injected chain).
+    """
+
+    time: float
+    server_row: int = field(compare=False)
+    component: ComponentClass = field(compare=False)
+    slot: int = field(compare=False, default=0)
+    forced_type: Optional[str] = field(compare=False, default=None)
+    tag: str = field(compare=False, default="base")
+    chain_id: Optional[int] = field(compare=False, default=None)
+    suppress_repeat: bool = field(compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.server_row < 0:
+            raise ValueError(f"server_row must be >= 0, got {self.server_row}")
+
+
+__all__ = ["RawFailure"]

@@ -1,0 +1,203 @@
+"""Top-level trace generation.
+
+:func:`generate_trace` wires the whole substrate together:
+
+1. build the fleet from the (scaled) config;
+2. draw per-server frailty and pick the lemon servers;
+3. sample the base failure process (lifecycle × workload × day effects);
+4. inject batch storms, correlated pairs, the flapping BBU server and
+   the synchronous repeat groups;
+5. run everything through the FMS pipeline, which categorizes tickets,
+   samples operator responses and grows repeat chains.
+
+The result bundles the dataset with the fleet, the inventory table the
+analyses need for normalization, and the injectors' ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import ScenarioConfig, paper_scenario
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import YEAR
+from repro.core.types import ComponentClass
+from repro.fleet.builder import build_fleet
+from repro.fleet.fleet import Fleet
+from repro.fleet.inventory import Inventory
+from repro.fms.detectors import DetectionModel
+from repro.fms.pipeline import FMSPipeline
+from repro.simulation import calibration
+from repro.simulation.base_process import draw_frailty, sample_base_failures
+from repro.simulation.batch_events import StormRecord, inject_batch_events
+from repro.simulation.correlated import (
+    InjectionRecord,
+    inject_correlated_pairs,
+    inject_flapping_server,
+    inject_synchronous_groups,
+)
+from repro.simulation.events import RawFailure
+
+
+@dataclass
+class SyntheticTrace:
+    """A generated trace plus everything needed to analyze it.
+
+    Attributes:
+        dataset: The FOTs, time-ordered.
+        fleet: The full fleet object graph.
+        inventory: Per-server metadata table (analysis denominators).
+        config: The scenario that produced the trace.
+        storms: Ground truth of injected batch events.
+        injections: Ground truth of correlated/repeat injections.
+        fms_stats: Pipeline counters (events in, repeats scheduled, ...).
+    """
+
+    dataset: FOTDataset
+    fleet: Fleet
+    inventory: Inventory
+    config: ScenarioConfig
+    storms: List[StormRecord] = field(default_factory=list)
+    injections: List[InjectionRecord] = field(default_factory=list)
+    fms_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def horizon_seconds(self) -> float:
+        return self.config.horizon_seconds
+
+
+def _class_budgets(config: ScenarioConfig) -> Dict[ComponentClass, float]:
+    """Expected base-process failures per class: the Table II mix times
+    the target volume, minus the share reserved for injectors and
+    FMS-grown repeats."""
+    target = config.scaled_target_failures
+    return {
+        cls: target * share * calibration.BASE_BUDGET_FACTOR[cls]
+        for cls, share in calibration.COMPONENT_MIX.items()
+    }
+
+
+def apply_monitoring_rollout(
+    events: List[RawFailure],
+    fleet: Fleet,
+    config: ScenarioConfig,
+    rng: np.random.Generator,
+) -> List[RawFailure]:
+    """Drop automatic detections on servers the FMS does not watch yet.
+
+    Models the paper's Section VII-C limitation: agent coverage ramps
+    from ``monitoring_initial_coverage`` to 1.0 linearly over
+    ``monitoring_rollout_years``.  Each server gets a monitored-since
+    time consistent with that ramp; automatic-class failures before it
+    are lost (nobody saw them), manual miscellaneous reports survive
+    (humans do not need agents).
+    """
+    if config.monitoring_rollout_years <= 0:
+        return events
+    c0 = config.monitoring_initial_coverage
+    ramp_seconds = config.monitoring_rollout_years * YEAR
+    u = rng.random(len(fleet))
+    monitored_since = np.where(
+        u < c0,
+        0.0,
+        ramp_seconds * (u - c0) / max(1.0 - c0, 1e-12),
+    )
+    kept = [
+        e
+        for e in events
+        if e.component is ComponentClass.MISC
+        or e.time >= monitored_since[e.server_row]
+    ]
+    return kept
+
+
+def generate_trace(config: ScenarioConfig) -> SyntheticTrace:
+    """Generate one synthetic four-year trace from a scenario config."""
+    rng = np.random.default_rng(config.seed)
+    fleet = build_fleet(config.scaled_fleet(), rng)
+    detection = DetectionModel()
+
+    frailty = draw_frailty(len(fleet), rng)
+    n_lemons = max(1, int(round(calibration.LEMON_FRACTION * len(fleet))))
+    lemon_rows = set(
+        int(r) for r in rng.choice(len(fleet), size=n_lemons, replace=False)
+    )
+
+    events: List[RawFailure] = sample_base_failures(
+        fleet,
+        config.horizon_seconds,
+        _class_budgets(config),
+        frailty,
+        detection,
+        rng,
+    )
+
+    storm_events, storms = inject_batch_events(
+        fleet, config.horizon_seconds, config.scale, rng
+    )
+    events.extend(storm_events)
+
+    injections: List[InjectionRecord] = []
+    pair_events, pair_records = inject_correlated_pairs(
+        fleet, config.horizon_seconds, config.scale, rng
+    )
+    events.extend(pair_events)
+    injections.extend(pair_records)
+
+    flap_events, flap_record = inject_flapping_server(
+        fleet, config.horizon_seconds, config.scale, rng
+    )
+    events.extend(flap_events)
+    if flap_record is not None:
+        injections.append(flap_record)
+
+    sync_events, sync_records = inject_synchronous_groups(
+        fleet, config.horizon_seconds, config.scale, rng
+    )
+    events.extend(sync_events)
+    injections.extend(sync_records)
+
+    events = apply_monitoring_rollout(events, fleet, config, rng)
+
+    pipeline = FMSPipeline(
+        fleet,
+        config.horizon_seconds,
+        rng,
+        lemon_rows=lemon_rows,
+        detection=detection,
+    )
+    warranty_seconds = config.fleet.warranty_years * YEAR
+    dataset = pipeline.run(events, warranty_seconds)
+
+    return SyntheticTrace(
+        dataset=dataset,
+        fleet=fleet,
+        inventory=fleet.to_inventory(),
+        config=config,
+        storms=storms,
+        injections=injections,
+        fms_stats=dict(pipeline.stats),
+    )
+
+
+def generate_paper_trace(
+    scale: float = 1.0, seed: int = 20170626
+) -> SyntheticTrace:
+    """Generate the calibrated paper scenario (optionally scaled down).
+
+    ``scale=1.0`` yields ~290k FOTs over ~230k servers in 24 data
+    centers; ``scale=0.05`` is a comfortable laptop-sized trace with the
+    same per-server statistics.
+    """
+    return generate_trace(paper_scenario(scale=scale, seed=seed))
+
+
+__all__ = [
+    "SyntheticTrace",
+    "generate_trace",
+    "generate_paper_trace",
+    "apply_monitoring_rollout",
+]

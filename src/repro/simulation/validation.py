@@ -1,0 +1,129 @@
+"""Trace self-validation against the paper's headline targets.
+
+:func:`validate_trace` measures every calibration target on a generated
+trace and reports target vs. measured vs. verdict, with tolerance bands
+that scale-aware callers can widen.  The CLI exposes it as
+``fouryears selfcheck``; the test suite runs it on the shared fixture so
+a calibration regression fails loudly instead of drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis import (
+    batch,
+    concentration,
+    correlated,
+    overview,
+    repeating,
+    response,
+    tbf,
+)
+from repro.core.types import ComponentClass, FOTCategory
+from repro.simulation import calibration
+from repro.simulation.trace import SyntheticTrace
+
+
+@dataclass(frozen=True)
+class Check:
+    """One target comparison."""
+
+    name: str
+    target: float
+    measured: float
+    #: Acceptable relative deviation (on the larger of the two values).
+    rel_tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        hi = max(abs(self.target), abs(self.measured), 1e-12)
+        return abs(self.target - self.measured) / hi <= self.rel_tolerance
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "ok " if self.ok else "OFF"
+        return (
+            f"[{flag}] {self.name}: target {self.target:.4g}, "
+            f"measured {self.measured:.4g} (tol {self.rel_tolerance:.0%})"
+        )
+
+
+def validate_trace(
+    trace: SyntheticTrace,
+    *,
+    slack: float = 1.0,
+) -> List[Check]:
+    """Measure every headline target on a trace.
+
+    ``slack`` multiplies every tolerance — pass ``slack=2.0`` for small
+    traces where sampling noise widens everything.
+    """
+    if slack <= 0:
+        raise ValueError("slack must be positive")
+    ds = trace.dataset
+    targets = calibration.PAPER_TARGETS
+    checks: List[Check] = []
+
+    def add(name: str, target: float, measured: float, tol: float) -> None:
+        checks.append(Check(name, float(target), float(measured), tol * slack))
+
+    # Table I.
+    cats = overview.category_breakdown(ds)
+    split = targets["category_split"]
+    add("table1.d_fixing", split["d_fixing"],
+        cats.fraction(FOTCategory.FIXING), 0.08)
+    add("table1.d_error", split["d_error"],
+        cats.fraction(FOTCategory.ERROR), 0.20)
+    add("table1.d_falsealarm", split["d_falsealarm"],
+        cats.fraction(FOTCategory.FALSE_ALARM), 0.25)
+
+    # Table II (head of the ranking).
+    shares = overview.component_breakdown(ds)
+    add("table2.hdd_share", targets["hdd_share"],
+        shares.get(ComponentClass.HDD, 0.0), 0.06)
+    add("table2.misc_share", calibration.COMPONENT_MIX[ComponentClass.MISC],
+        shares.get(ComponentClass.MISC, 0.0), 0.25)
+
+    # Figure 5: MTBF scales inversely with volume.
+    analysis = tbf.analyze_tbf(ds)
+    scale = trace.config.scale
+    add("fig5.mtbf_minutes_scaled", targets["mtbf_overall_minutes"],
+        analysis.mtbf_minutes * scale, 0.30)
+    add("fig5.all_families_rejected", 1.0,
+        1.0 if analysis.all_rejected_at(0.05) else 0.0, 0.0)
+
+    # Section III-D.
+    reps = repeating.repeating_stats(ds)
+    add("repeats.repeat_free", 0.95, reps.repeat_free_fraction, 0.08)
+    add("repeats.server_share", targets["repeating_server_share"],
+        reps.repeating_server_fraction, 0.6)
+
+    # Table V (thresholds scaled with volume).
+    n100 = max(2, int(round(100 * scale)))
+    counts = batch.daily_counts(ds, ComponentClass.HDD)
+    add("table5.hdd_r100_scaled", targets["batch_r100_hdd"],
+        batch.batch_frequency(counts, n100), 0.30)
+
+    # Table VI.
+    corr = correlated.component_pair_counts(ds)
+    add("table6.correlated_server_share", targets["correlated_server_share"],
+        corr.correlated_server_fraction, 1.0)
+    add("table6.misc_share", targets["correlated_misc_share"],
+        corr.misc_share, 0.35)
+
+    # Figure 9.
+    fixing = response.rt_distribution(ds, FOTCategory.FIXING)
+    add("fig9.rt_median_days", targets["rt_fixing_median_days"],
+        fixing.median_days, 0.6)
+    add("fig9.rt_mean_days", targets["rt_fixing_mean_days"],
+        fixing.mean_days, 0.4)
+
+    return checks
+
+
+def failed_checks(checks: List[Check]) -> List[Check]:
+    return [c for c in checks if not c.ok]
+
+
+__all__ = ["Check", "validate_trace", "failed_checks"]

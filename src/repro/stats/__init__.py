@@ -1,0 +1,53 @@
+"""Statistics substrate used by the paper's analyses.
+
+Everything the paper's methodology section (II-B) needs is implemented
+here from first principles:
+
+* :mod:`repro.stats.special` — log-gamma, regularized incomplete gamma,
+  erf, digamma (no dependency on scipy; tests cross-check against it).
+* :mod:`repro.stats.distributions` — uniform, exponential, Weibull,
+  gamma and lognormal distributions with maximum-likelihood fitting.
+* :mod:`repro.stats.chisquare` — Pearson's chi-squared goodness-of-fit
+  test, for discrete counts and for continuous samples against a fitted
+  distribution.
+* :mod:`repro.stats.empirical` — ECDF, quantiles and binning helpers.
+* :mod:`repro.stats.hypotheses` — the five numbered hypotheses the paper
+  tests, as reusable functions over any FOT dataset.
+"""
+
+from repro.stats.distributions import (
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Uniform,
+    Weibull,
+    fit_all,
+)
+from repro.stats.chisquare import (
+    ChiSquareResult,
+    chi_square_counts,
+    chi_square_fit,
+)
+from repro.stats.empirical import ecdf, quantile
+from repro.stats import special, hypotheses, ks, bootstrap, dispersion
+
+__all__ = [
+    "Distribution",
+    "Uniform",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "fit_all",
+    "ChiSquareResult",
+    "chi_square_counts",
+    "chi_square_fit",
+    "ecdf",
+    "quantile",
+    "special",
+    "hypotheses",
+    "ks",
+    "bootstrap",
+    "dispersion",
+]

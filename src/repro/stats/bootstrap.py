@@ -1,0 +1,131 @@
+"""Bootstrap confidence intervals for the headline statistics.
+
+The paper reports point estimates (median RT 6.1 days, HDD share
+81.84 %, ...).  When comparing a reproduction — or a different fleet —
+against those numbers, an uncertainty band is needed to tell signal from
+sampling noise; this module provides percentile-bootstrap intervals for
+arbitrary statistics of a sample, plus ready-made helpers for the two
+shapes that dominate the paper (fractions and quantiles of heavy-tailed
+data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    n_resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether a reference value (e.g. the paper's number) lies
+        inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.estimate:.4g} "
+            f"[{self.lower:.4g}, {self.upper:.4g}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Percentile bootstrap for an arbitrary statistic of a 1-D sample."""
+    data = np.asarray(data, dtype=float)
+    if data.size < 2:
+        raise ValueError("bootstrap needs at least 2 observations")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be at least 10")
+    rng = rng or np.random.default_rng(0)
+
+    estimate = float(statistic(data))
+    stats = np.empty(n_resamples)
+    n = data.size
+    for i in range(n_resamples):
+        resample = data[rng.integers(0, n, size=n)]
+        stats[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=estimate,
+        lower=float(np.quantile(stats, alpha)),
+        upper=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def median_ci(
+    data: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Bootstrap CI for the median — the paper's preferred location
+    statistic for the heavy-tailed RT distributions."""
+    return bootstrap_ci(
+        data, lambda x: float(np.median(x)),
+        confidence=confidence, n_resamples=n_resamples, rng=rng,
+    )
+
+
+def mean_ci(
+    data: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Bootstrap CI for the mean (MTTR-style statistics)."""
+    return bootstrap_ci(
+        data, lambda x: float(x.mean()),
+        confidence=confidence, n_resamples=n_resamples, rng=rng,
+    )
+
+
+def fraction_ci(
+    successes: int,
+    total: int,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapCI:
+    """Bootstrap CI for a share (Table I/II-style fractions)."""
+    if not 0 <= successes <= total:
+        raise ValueError(f"need 0 <= successes <= total, got {successes}/{total}")
+    if total < 2:
+        raise ValueError("fraction CI needs total >= 2")
+    data = np.zeros(total)
+    data[:successes] = 1.0
+    return bootstrap_ci(
+        data, lambda x: float(x.mean()),
+        confidence=confidence, n_resamples=n_resamples, rng=rng,
+    )
+
+
+__all__ = ["BootstrapCI", "bootstrap_ci", "median_ci", "mean_ci", "fraction_ci"]

@@ -1,0 +1,79 @@
+"""Index-of-dispersion test for count series.
+
+The paper's Table V observation — batch days are *common* — is
+equivalent to saying daily failure counts are overdispersed relative to
+Poisson.  The classical test: for counts ``n_1..n_D`` with mean ``m``,
+the statistic ``sum (n_i - m)^2 / m`` is chi-squared with ``D - 1``
+degrees of freedom under the Poisson null, and the index of dispersion
+``variance / mean`` is 1.  This module provides both, so analyses and
+ablation benches can report "dispersion 19.7, Poisson rejected" instead
+of eyeballing spiky plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.special import chi2_sf
+
+
+@dataclass(frozen=True)
+class DispersionResult:
+    """Outcome of the index-of-dispersion test."""
+
+    index: float
+    statistic: float
+    df: int
+    p_value: float
+    n: int
+    mean: float
+
+    @property
+    def overdispersed(self) -> bool:
+        """Poisson rejected *upward* (more variance than Poisson) at
+        the 0.01 level."""
+        return self.index > 1.0 and self.p_value < 0.01
+
+    def reject_poisson_at(self, alpha: float) -> bool:
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        return self.p_value < alpha
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"dispersion={self.index:.2f}, chi2={self.statistic:.1f}, "
+            f"df={self.df}, p={self.p_value:.3g}"
+        )
+
+
+def dispersion_test(counts: Sequence[float]) -> DispersionResult:
+    """Test a count series against the Poisson null.
+
+    The reported ``p_value`` is the upper tail (overdispersion); a
+    series *under*-dispersed relative to Poisson gets p close to 1.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 1 or counts.size < 2:
+        raise ValueError("need a 1-D series of at least 2 counts")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    mean = float(counts.mean())
+    if mean == 0:
+        raise ValueError("cannot test an all-zero series")
+    statistic = float(((counts - mean) ** 2).sum() / mean)
+    df = counts.size - 1
+    variance = float(counts.var(ddof=1)) if counts.size > 1 else 0.0
+    return DispersionResult(
+        index=variance / mean,
+        statistic=statistic,
+        df=df,
+        p_value=float(chi2_sf(statistic, df)),
+        n=int(counts.size),
+        mean=mean,
+    )
+
+
+__all__ = ["DispersionResult", "dispersion_test"]

@@ -1,0 +1,465 @@
+"""Probability distributions with maximum-likelihood fitting.
+
+Section II-B of the paper: *"we first estimate the parameters of the
+fitting distributions through maximum likelihood estimation (MLE) and
+then adopt Pearson's chi-squared test"*.  The candidate families the
+paper names are uniform, exponential, Weibull, gamma and lognormal; all
+five are implemented here with closed-form MLE where it exists and
+Newton/bisection root-finding where it does not (Weibull and gamma
+shapes).
+
+Every distribution exposes ``pdf``, ``cdf``, ``ppf`` (inverse CDF, used
+for equiprobable chi-squared binning), ``sample`` and a ``fit``
+classmethod, plus ``n_params`` so goodness-of-fit tests can charge the
+right degrees of freedom.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.special import digamma, gammainc_lower, gammaln, normal_cdf
+
+
+class FitError(ValueError):
+    """Raised when MLE cannot be performed on the given sample."""
+
+
+def _validate_positive_sample(data: np.ndarray, name: str) -> np.ndarray:
+    data = np.asarray(data, dtype=float)
+    if data.size < 2:
+        raise FitError(f"{name} fit needs at least 2 observations")
+    if np.any(~np.isfinite(data)):
+        raise FitError(f"{name} fit requires finite observations")
+    if np.any(data <= 0):
+        raise FitError(f"{name} fit requires strictly positive observations")
+    return data
+
+
+class Distribution(abc.ABC):
+    """Base class for the fitted distributions."""
+
+    #: Number of free parameters estimated by ``fit`` — the chi-squared
+    #: test subtracts this from the degrees of freedom.
+    n_params: int = 0
+    #: Family name used in reports and figure legends.
+    name: str = "distribution"
+
+    @abc.abstractmethod
+    def pdf(self, x) -> np.ndarray:
+        """Probability density at ``x``."""
+
+    @abc.abstractmethod
+    def cdf(self, x) -> np.ndarray:
+        """Cumulative distribution function at ``x``."""
+
+    @abc.abstractmethod
+    def ppf(self, q) -> np.ndarray:
+        """Inverse CDF (quantile function) at probability ``q``."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` i.i.d. samples."""
+
+    @property
+    @abc.abstractmethod
+    def params(self) -> Dict[str, float]:
+        """Fitted parameter values by name."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Distribution mean."""
+
+    @classmethod
+    @abc.abstractmethod
+    def fit(cls, data) -> "Distribution":
+        """Maximum-likelihood fit to a 1-D sample."""
+
+    def log_likelihood(self, data) -> float:
+        """Total log-likelihood of a sample under this distribution."""
+        dens = self.pdf(np.asarray(data, dtype=float))
+        if np.any(dens <= 0):
+            return float("-inf")
+        return float(np.sum(np.log(dens)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v:.6g}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
+
+
+class Uniform(Distribution):
+    """Continuous uniform distribution on ``[low, high]``."""
+
+    name = "uniform"
+    n_params = 2
+
+    def __init__(self, low: float, high: float):
+        if not high > low:
+            raise ValueError(f"require high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.low) & (x <= self.high)
+        return np.where(inside, 1.0 / (self.high - self.low), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.clip((x - self.low) / (self.high - self.low), 0.0, 1.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return self.low + q * (self.high - self.low)
+
+    def sample(self, size, rng):
+        return rng.uniform(self.low, self.high, size)
+
+    @property
+    def params(self):
+        return {"low": self.low, "high": self.high}
+
+    @property
+    def mean(self):
+        return 0.5 * (self.low + self.high)
+
+    @classmethod
+    def fit(cls, data):
+        data = np.asarray(data, dtype=float)
+        if data.size < 2:
+            raise FitError("uniform fit needs at least 2 observations")
+        low, high = float(data.min()), float(data.max())
+        if high == low:
+            raise FitError("uniform fit requires non-degenerate sample")
+        return cls(low, high)
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``lam`` (mean ``1/lam``)."""
+
+    name = "exponential"
+    n_params = 1
+
+    def __init__(self, lam: float):
+        if lam <= 0:
+            raise ValueError(f"rate must be positive, got {lam}")
+        self.lam = float(lam)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0, self.lam * np.exp(-self.lam * x), 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= 0, 1.0 - np.exp(-self.lam * x), 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return -np.log1p(-q) / self.lam
+
+    def sample(self, size, rng):
+        return rng.exponential(1.0 / self.lam, size)
+
+    @property
+    def params(self):
+        return {"lam": self.lam}
+
+    @property
+    def mean(self):
+        return 1.0 / self.lam
+
+    @classmethod
+    def fit(cls, data):
+        data = _validate_positive_sample(data, "exponential")
+        return cls(1.0 / float(data.mean()))
+
+
+class Weibull(Distribution):
+    """Weibull distribution with shape ``k`` and scale ``lam``."""
+
+    name = "weibull"
+    n_params = 2
+
+    def __init__(self, shape: float, scale: float):
+        if shape <= 0 or scale <= 0:
+            raise ValueError(f"shape and scale must be positive: {shape}, {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        k, lam = self.shape, self.scale
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            z = np.where(x > 0, x / lam, 0.0)
+            dens = (k / lam) * z ** (k - 1.0) * np.exp(-(z**k))
+        return np.where(x > 0, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.where(x > 0, x / self.scale, 0.0)
+        return np.where(x > 0, 1.0 - np.exp(-(z**self.shape)), 0.0)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        return self.scale * (-np.log1p(-q)) ** (1.0 / self.shape)
+
+    def sample(self, size, rng):
+        return self.scale * rng.weibull(self.shape, size)
+
+    @property
+    def params(self):
+        return {"shape": self.shape, "scale": self.scale}
+
+    @property
+    def mean(self):
+        return self.scale * math.exp(float(gammaln(1.0 + 1.0 / self.shape)))
+
+    @classmethod
+    def fit(cls, data):
+        data = _validate_positive_sample(data, "weibull")
+        logs = np.log(data)
+        mean_log = logs.mean()
+
+        def profile(k: float) -> float:
+            # d/dk of the profile log-likelihood; root gives the MLE shape.
+            with np.errstate(over="ignore", invalid="ignore"):
+                xk = data**k
+                value = (xk * logs).sum() / xk.sum() - 1.0 / k - mean_log
+            return float(value) if np.isfinite(value) else float("-inf")
+
+        # ``profile`` is increasing in k; bracket the root then bisect.
+        lo, hi = 1e-3, 1.0
+        for _ in range(200):
+            if profile(hi) > 0:
+                break
+            hi *= 2.0
+        else:
+            raise FitError("weibull shape bracket search failed")
+        if profile(lo) > 0:
+            raise FitError("weibull fit requires sample with spread")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if profile(mid) > 0:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo < 1e-10 * hi:
+                break
+        k = 0.5 * (lo + hi)
+        scale = float((data**k).mean() ** (1.0 / k))
+        return cls(k, scale)
+
+
+class Gamma(Distribution):
+    """Gamma distribution with shape ``k`` and scale ``theta``."""
+
+    name = "gamma"
+    n_params = 2
+
+    def __init__(self, shape: float, scale: float):
+        if shape <= 0 or scale <= 0:
+            raise ValueError(f"shape and scale must be positive: {shape}, {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        k, theta = self.shape, self.scale
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_dens = (
+                (k - 1.0) * np.log(np.where(x > 0, x, 1.0))
+                - x / theta
+                - k * np.log(theta)
+                - gammaln(k)
+            )
+            dens = np.exp(log_dens)
+        return np.where(x > 0, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        positive = x > 0
+        out = np.zeros_like(x, dtype=float)
+        if positive.any():
+            out[positive] = gammainc_lower(self.shape, x[positive] / self.scale)
+        return out
+
+    def ppf(self, q):
+        # No closed form: bisection on the CDF, vectorized per element.
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q >= 1)):
+            raise ValueError("gamma ppf requires 0 <= q < 1")
+        out = np.empty_like(q)
+        for i, qi in enumerate(q):
+            if qi == 0.0:
+                out[i] = 0.0
+                continue
+            lo, hi = 0.0, max(self.mean, self.scale)
+            while float(self.cdf(hi)) < qi:
+                hi *= 2.0
+                if hi > 1e300:  # pragma: no cover - numerical guard
+                    raise FitError("gamma ppf failed to bracket quantile")
+            for _ in range(200):
+                mid = 0.5 * (lo + hi)
+                if float(self.cdf(mid)) < qi:
+                    lo = mid
+                else:
+                    hi = mid
+                if hi - lo <= 1e-12 * max(hi, 1.0):
+                    break
+            out[i] = 0.5 * (lo + hi)
+        return out if out.size > 1 else out[0]
+
+    def sample(self, size, rng):
+        return rng.gamma(self.shape, self.scale, size)
+
+    @property
+    def params(self):
+        return {"shape": self.shape, "scale": self.scale}
+
+    @property
+    def mean(self):
+        return self.shape * self.scale
+
+    @classmethod
+    def fit(cls, data):
+        data = _validate_positive_sample(data, "gamma")
+        mean = float(data.mean())
+        s = math.log(mean) - float(np.log(data).mean())
+        if s <= 1e-10:
+            raise FitError("gamma fit requires sample with spread")
+        # Minka's closed-form initialization, then Newton on
+        # f(k) = ln k - psi(k) - s.
+        k = (3.0 - s + math.sqrt((s - 3.0) ** 2 + 24.0 * s)) / (12.0 * s)
+        for _ in range(100):
+            fk = math.log(k) - float(digamma(k)) - s
+            # f'(k) = 1/k - psi'(k); approximate psi' by finite difference
+            # of our digamma (accurate enough for Newton convergence).
+            h = max(1e-6 * k, 1e-10)
+            fprime = (
+                (math.log(k + h) - float(digamma(k + h)))
+                - (math.log(k - h) - float(digamma(k - h)))
+            ) / (2.0 * h)
+            if fprime == 0:
+                break
+            step = fk / fprime
+            new_k = k - step
+            if new_k <= 0:
+                new_k = k / 2.0
+            if abs(new_k - k) < 1e-12 * k:
+                k = new_k
+                break
+            k = new_k
+        return cls(k, mean / k)
+
+
+class LogNormal(Distribution):
+    """Lognormal distribution: ``ln X ~ Normal(mu, sigma)``."""
+
+    name = "lognormal"
+    n_params = 2
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logx = np.log(np.where(x > 0, x, 1.0))
+            dens = np.exp(-((logx - self.mu) ** 2) / (2.0 * self.sigma**2)) / (
+                np.where(x > 0, x, 1.0) * self.sigma * np.sqrt(2.0 * np.pi)
+            )
+        return np.where(x > 0, dens, 0.0)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x, dtype=float)
+        positive = x > 0
+        if positive.any():
+            out[positive] = normal_cdf(np.log(x[positive]), self.mu, self.sigma)
+        return out
+
+    def ppf(self, q):
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q >= 1)):
+            raise ValueError("lognormal ppf requires 0 <= q < 1")
+        out = np.empty_like(q)
+        for i, qi in enumerate(q):
+            if qi == 0.0:
+                out[i] = 0.0
+                continue
+            out[i] = math.exp(self.mu + self.sigma * _normal_ppf_scalar(qi))
+        return out if out.size > 1 else out[0]
+
+    def sample(self, size, rng):
+        return rng.lognormal(self.mu, self.sigma, size)
+
+    @property
+    def params(self):
+        return {"mu": self.mu, "sigma": self.sigma}
+
+    @property
+    def mean(self):
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    @classmethod
+    def fit(cls, data):
+        data = _validate_positive_sample(data, "lognormal")
+        logs = np.log(data)
+        sigma = float(logs.std())
+        if sigma <= 1e-12 * max(1.0, abs(float(logs.mean()))):
+            raise FitError("lognormal fit requires sample with spread")
+        return cls(float(logs.mean()), sigma)
+
+
+def _normal_ppf_scalar(q: float) -> float:
+    """Standard normal quantile by bisection on :func:`normal_cdf`."""
+    lo, hi = -40.0, 40.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if float(normal_cdf(mid)) < q:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12:
+            break
+    return 0.5 * (lo + hi)
+
+
+#: The families the paper tries to fit to TBF data (Section III-B).
+TBF_FAMILIES: Tuple[type, ...] = (Exponential, Weibull, Gamma, LogNormal)
+
+
+def fit_all(data, families: Sequence[type] = TBF_FAMILIES) -> Dict[str, Distribution]:
+    """Fit every family that admits the sample; families whose MLE fails
+    (e.g. a degenerate sample) are silently skipped.
+
+    Returns a dict keyed by family name; may be empty.
+    """
+    fits: Dict[str, Distribution] = {}
+    for family in families:
+        try:
+            fits[family.name] = family.fit(data)
+        except FitError:
+            continue
+    return fits
+
+
+__all__ = [
+    "Distribution",
+    "Uniform",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "FitError",
+    "TBF_FAMILIES",
+    "fit_all",
+]

@@ -1,0 +1,112 @@
+"""Empirical-distribution helpers: ECDF, quantiles, histogram profiles.
+
+These back the figure-style outputs (CDF plots rendered as value/quantile
+series) and the normalized "fraction of failures per facet" profiles of
+Figures 3, 4 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """Empirical cumulative distribution function of a 1-D sample.
+
+    ``xs`` are the sorted unique sample values; ``ps`` the cumulative
+    probability at each (right-continuous step function).
+    """
+
+    xs: np.ndarray
+    ps: np.ndarray
+
+    def __call__(self, x) -> np.ndarray:
+        """Evaluate the ECDF at ``x`` (array-friendly)."""
+        idx = np.searchsorted(self.xs, np.asarray(x, dtype=float), side="right")
+        out = np.concatenate(([0.0], self.ps))[idx]
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value with cumulative probability >= q."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self.ps, q, side="left"))
+        idx = min(idx, self.xs.size - 1)
+        return float(self.xs[idx])
+
+    def tail_fraction(self, threshold: float) -> float:
+        """Fraction of the sample strictly above ``threshold``.
+
+        The paper quotes tails like "10 % of FOTs have RT longer than
+        140 days"; this is that number.
+        """
+        return float(1.0 - self(threshold))
+
+    def series(self, n_points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """Downsampled (x, p) series for plotting/reporting."""
+        if self.xs.size <= n_points:
+            return self.xs.copy(), self.ps.copy()
+        idx = np.unique(
+            np.linspace(0, self.xs.size - 1, n_points).round().astype(int)
+        )
+        return self.xs[idx], self.ps[idx]
+
+
+def ecdf(data: Sequence[float]) -> ECDF:
+    """Build the ECDF of a sample."""
+    data = np.asarray(data, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot build an ECDF from an empty sample")
+    xs, counts = np.unique(data, return_counts=True)
+    ps = np.cumsum(counts) / data.size
+    return ECDF(xs=xs, ps=ps)
+
+
+def quantile(data: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of a sample."""
+    data = np.asarray(data, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take a quantile of an empty sample")
+    return float(np.quantile(data, q))
+
+
+def fraction_profile(codes: Sequence[int], n_bins: int) -> np.ndarray:
+    """Fraction of observations per integer facet ``0..n_bins-1``.
+
+    This is the normalization used by Figures 3/4/8 ("we normalize the
+    count to the total number of failures").
+    """
+    codes = np.asarray(codes, dtype=int)
+    if codes.size == 0:
+        raise ValueError("cannot profile an empty sample")
+    if codes.min() < 0 or codes.max() >= n_bins:
+        raise ValueError(
+            f"facet codes must lie in [0, {n_bins}), got "
+            f"[{codes.min()}, {codes.max()}]"
+        )
+    counts = np.bincount(codes, minlength=n_bins).astype(float)
+    return counts / counts.sum()
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of non-negative values (0 = equal, → 1 = all
+    mass on one unit).  Used to quantify Figure 7's failure
+    concentration across servers."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        raise ValueError("cannot compute gini of an empty sample")
+    if np.any(values < 0):
+        raise ValueError("gini requires non-negative values")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * values).sum()) / (n * total) - (n + 1.0) / n)
+
+
+__all__ = ["ECDF", "ecdf", "quantile", "fraction_profile", "gini"]

@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+Trace generation is the expensive part of the suite, so the two traces
+most tests need are generated once per session:
+
+* ``tiny_trace`` — scale 0.01 (~hundreds of servers, ~3k tickets).
+* ``small_trace`` — scale 0.04 (~7k servers, ~11k tickets), used by the
+  statistical assertions that need volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig, paper_scenario
+from repro.simulation.trace import SyntheticTrace, generate_trace
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> SyntheticTrace:
+    return generate_trace(paper_scenario(scale=0.01, seed=1234))
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> SyntheticTrace:
+    return generate_trace(paper_scenario(scale=0.04, seed=20170626))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_trace):
+    return tiny_trace.dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_trace):
+    return small_trace.dataset
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,136 @@
+"""Batch-failure analyses (Table V, Section V-A cases)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import batch
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY, HOUR
+from repro.core.types import ComponentClass
+from tests.test_ticket import make_ticket
+
+
+class TestDailyCounts:
+    def test_counts_by_day(self):
+        tickets = [
+            make_ticket(fot_id=0, error_time=0.5 * DAY),
+            make_ticket(fot_id=1, error_time=0.7 * DAY),
+            make_ticket(fot_id=2, error_time=2.1 * DAY),
+        ]
+        counts = batch.daily_counts(FOTDataset(tickets), n_days=4)
+        np.testing.assert_allclose(counts, [2, 0, 1, 0])
+
+    def test_component_filter(self, small_dataset):
+        hdd = batch.daily_counts(small_dataset, ComponentClass.HDD)
+        total = batch.daily_counts(small_dataset)
+        assert hdd.sum() <= total.sum()
+        assert hdd.size == total.size
+
+    def test_false_alarms_excluded(self, small_dataset):
+        counts = batch.daily_counts(small_dataset)
+        assert counts.sum() == len(small_dataset.failures())
+
+
+class TestBatchFrequency:
+    def test_known_series(self):
+        counts = [150, 90, 300, 40, 600]
+        assert batch.batch_frequency(counts, 100) == pytest.approx(3 / 5)
+        assert batch.batch_frequency(counts, 500) == pytest.approx(1 / 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch.batch_frequency([], 100)
+        with pytest.raises(ValueError):
+            batch.batch_frequency([1.0], 0)
+
+    def test_monotone_in_threshold(self, small_dataset):
+        counts = batch.daily_counts(small_dataset, ComponentClass.HDD)
+        freqs = [batch.batch_frequency(counts, n) for n in (5, 20, 50)]
+        assert freqs == sorted(freqs, reverse=True)
+
+
+class TestTableV:
+    def test_structure(self, small_dataset):
+        table = batch.batch_failure_frequency(small_dataset, thresholds=(5, 20, 50))
+        assert set(table) == set(ComponentClass)
+        for per_class in table.values():
+            assert set(per_class) == {5, 20, 50}
+
+    def test_hdd_batches_most_common(self, small_dataset):
+        # Table V: HDD has by far the highest r_N at every threshold.
+        table = batch.batch_failure_frequency(small_dataset, thresholds=(10,))
+        hdd = table[ComponentClass.HDD][10]
+        others = [
+            table[cls][10]
+            for cls in ComponentClass
+            if cls not in (ComponentClass.HDD, ComponentClass.MISC)
+        ]
+        assert hdd > max(others)
+
+    def test_rare_classes_zero(self, small_dataset):
+        table = batch.batch_failure_frequency(small_dataset, thresholds=(100,))
+        assert table[ComponentClass.CPU][100] == 0.0
+
+
+class TestDetectBatches:
+    def test_crafted_spike_detected(self):
+        rng = np.random.default_rng(1)
+        # 30 days of background (3/day) plus one 200-failure hour.
+        tickets = [
+            make_ticket(fot_id=i, host_id=i,
+                        error_time=float(rng.uniform(0, 30 * DAY)))
+            for i in range(90)
+        ]
+        tickets += [
+            make_ticket(fot_id=1000 + i, host_id=1000 + i,
+                        error_time=10 * DAY + 2 * HOUR + float(rng.uniform(0, HOUR)),
+                        error_type="SMARTFail", product_line="plX")
+            for i in range(200)
+        ]
+        events = batch.detect_batches(
+            FOTDataset(tickets), ComponentClass.HDD, min_failures=50
+        )
+        assert events
+        top = events[0]
+        assert top.n_failures >= 200
+        assert top.dominant_type == "SMARTFail"
+        assert top.dominant_line == "plX"
+        assert top.duration_hours <= 3.0
+
+    def test_no_spike_no_batches(self):
+        rng = np.random.default_rng(2)
+        tickets = [
+            make_ticket(fot_id=i, error_time=float(rng.uniform(0, 100 * DAY)))
+            for i in range(300)
+        ]
+        events = batch.detect_batches(
+            FOTDataset(tickets), ComponentClass.HDD,
+            spike_factor=8.0, min_failures=40,
+        )
+        assert events == []
+
+    def test_injected_storms_recovered(self, small_trace):
+        # The big Case 1 storm must be detectable without ground truth.
+        events = batch.detect_batches(
+            small_trace.dataset, ComponentClass.HDD, min_failures=30
+        )
+        assert events
+        case1 = next(
+            r for r in small_trace.storms if r.kind == "smart_storm_case1"
+        )
+        overlapping = [
+            e for e in events
+            if e.start <= case1.end and e.end >= case1.start
+        ]
+        assert overlapping
+        assert overlapping[0].dominant_type == "SMARTFail"
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            batch.detect_batches(
+                small_dataset, ComponentClass.HDD, spike_factor=0.5
+            )
+
+    def test_empty_class_ok(self, small_dataset):
+        empty = small_dataset.where(np.zeros(len(small_dataset), dtype=bool))
+        assert batch.detect_batches(empty, ComponentClass.HDD) == []

@@ -1,0 +1,75 @@
+"""Failure concentration (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import concentration
+from repro.core.dataset import FOTDataset
+from tests.test_ticket import make_ticket
+
+
+class TestCurveMath:
+    def test_known_distribution(self):
+        # Host 1: 8 failures, hosts 2-5: 1 each -> 12 failures total.
+        tickets = [make_ticket(fot_id=i, host_id=1, error_time=float(i))
+                   for i in range(8)]
+        tickets += [make_ticket(fot_id=10 + h, host_id=h, error_time=100.0 + h)
+                    for h in range(2, 6)]
+        curve = concentration.failure_concentration(FOTDataset(tickets))
+        assert curve.n_failed_servers == 5
+        assert curve.n_failures == 12
+        # Top 20 % of servers (= 1 server) holds 8/12 of failures.
+        assert curve.share_of_top(0.2) == pytest.approx(8 / 12)
+        assert curve.share_of_top(1.0) == pytest.approx(1.0)
+
+    def test_monotone_curve(self, small_dataset):
+        curve = concentration.failure_concentration(small_dataset)
+        assert np.all(np.diff(curve.failure_fraction) >= 0)
+        assert curve.failure_fraction[-1] == pytest.approx(1.0)
+        assert curve.server_fraction[-1] == pytest.approx(1.0)
+
+    def test_servers_for_share_inverse(self, small_dataset):
+        curve = concentration.failure_concentration(small_dataset)
+        frac = curve.servers_for_share(0.5)
+        assert 0 < frac < 1
+        assert curve.share_of_top(frac) >= 0.49
+
+    def test_validation(self, small_dataset):
+        curve = concentration.failure_concentration(small_dataset)
+        with pytest.raises(ValueError):
+            curve.share_of_top(0.0)
+        with pytest.raises(ValueError):
+            curve.servers_for_share(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concentration.failure_concentration(FOTDataset([]))
+
+
+class TestPaperShape:
+    def test_extreme_non_uniformity(self, small_dataset):
+        # Paper: failures extremely non-uniform across servers.  The
+        # top fifth of ever-failed servers holds well over half.
+        curve = concentration.failure_concentration(small_dataset)
+        assert curve.share_of_top(0.2) > 0.5
+        assert curve.gini > 0.4
+
+    def test_top_two_percent_disproportionate(self, small_dataset):
+        curve = concentration.failure_concentration(small_dataset)
+        assert curve.share_of_top(0.02) > 0.08  # >> 2 % under uniformity
+
+    def test_ever_failed_fraction(self, small_trace):
+        frac = concentration.ever_failed_fraction(
+            small_trace.dataset, len(small_trace.fleet)
+        )
+        assert 0.05 < frac < 0.9
+
+    def test_series_downsampled(self, small_dataset):
+        curve = concentration.failure_concentration(small_dataset)
+        xs, ys = concentration.concentration_series(curve, 50)
+        assert xs.size <= 50
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_ever_failed_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            concentration.ever_failed_fraction(small_dataset, 0)

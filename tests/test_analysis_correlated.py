@@ -1,0 +1,122 @@
+"""Correlated component failures (Tables VI/VII)."""
+
+import pytest
+
+from repro.analysis import correlated
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY, HOUR, MINUTE
+from repro.core.types import ComponentClass
+from tests.test_ticket import make_ticket
+
+
+def pair_on_server(host, cls_a, cls_b, t=10 * DAY, gap=5 * MINUTE):
+    return [
+        make_ticket(fot_id=host * 10, host_id=host, error_device=cls_a,
+                    error_time=t),
+        make_ticket(fot_id=host * 10 + 1, host_id=host, error_device=cls_b,
+                    error_time=t + gap),
+    ]
+
+
+class TestPairCounts:
+    def test_crafted_pairs_counted(self):
+        tickets = pair_on_server(1, ComponentClass.POWER, ComponentClass.FAN)
+        tickets += pair_on_server(2, ComponentClass.HDD, ComponentClass.MISC)
+        tickets += [make_ticket(fot_id=99, host_id=3, error_time=40 * DAY)]
+        stats = correlated.component_pair_counts(FOTDataset(tickets))
+        assert stats.total_pairs() == 2
+        assert stats.n_correlated_servers == 2
+        assert stats.n_failed_servers == 3
+        key = (ComponentClass.FAN, ComponentClass.POWER)
+        assert stats.pair_counts[key] == 1
+        assert stats.misc_share == pytest.approx(0.5)
+
+    def test_same_class_same_day_not_a_pair(self):
+        tickets = [
+            make_ticket(fot_id=0, host_id=1, error_time=10 * DAY),
+            make_ticket(fot_id=1, host_id=1, error_time=10 * DAY + HOUR),
+        ]
+        stats = correlated.component_pair_counts(FOTDataset(tickets))
+        assert stats.total_pairs() == 0
+
+    def test_different_days_not_a_pair(self):
+        tickets = pair_on_server(
+            1, ComponentClass.POWER, ComponentClass.FAN, gap=2 * DAY
+        )
+        stats = correlated.component_pair_counts(FOTDataset(tickets))
+        assert stats.total_pairs() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            correlated.component_pair_counts(FOTDataset([]))
+
+    def test_paper_shape_on_trace(self, small_dataset):
+        stats = correlated.component_pair_counts(small_dataset)
+        # paper: rare (0.49 % of ever-failed servers) and dominated by
+        # pairs with a misc report (71.5 %); generous bands at test scale.
+        assert stats.correlated_server_fraction < 0.06
+        assert stats.misc_share > 0.25
+        # HDD in nearly all non-misc pairs.
+        assert stats.hdd_share_of_non_misc > 0.5
+
+    def test_injected_pairs_present(self, small_trace):
+        stats = correlated.component_pair_counts(small_trace.dataset)
+        injected = sum(
+            1 for r in small_trace.injections if r.kind == "correlated_pair"
+        )
+        assert stats.total_pairs() >= injected * 0.5
+
+
+class TestPairExamples:
+    def test_finds_power_fan_examples(self, small_trace):
+        examples = correlated.find_pair_examples(
+            small_trace.dataset, ComponentClass.POWER, ComponentClass.FAN
+        )
+        if not examples:
+            pytest.skip("no power/fan pair at this scale/seed")
+        ex = examples[0]
+        assert ex.gap_seconds >= 0
+        assert {ex.first.error_device, ex.second.error_device} == {
+            ComponentClass.POWER, ComponentClass.FAN,
+        }
+        assert ex.first.host_id == ex.second.host_id
+
+    def test_crafted_example_ordered_by_time(self):
+        tickets = pair_on_server(5, ComponentClass.FAN, ComponentClass.POWER)
+        examples = correlated.find_pair_examples(
+            FOTDataset(tickets), ComponentClass.POWER, ComponentClass.FAN
+        )
+        assert len(examples) == 1
+        assert examples[0].first.error_device is ComponentClass.FAN
+
+    def test_limit_respected(self):
+        tickets = []
+        for host in range(1, 30):
+            tickets += pair_on_server(
+                host, ComponentClass.POWER, ComponentClass.FAN,
+                t=host * 3 * DAY,
+            )
+        examples = correlated.find_pair_examples(
+            FOTDataset(tickets), ComponentClass.POWER, ComponentClass.FAN,
+            limit=5,
+        )
+        assert len(examples) == 5
+
+
+class TestIndependenceBaseline:
+    def test_single_failure_servers_zero(self):
+        tickets = [
+            make_ticket(fot_id=i, host_id=i, error_time=float(i)) for i in range(5)
+        ]
+        p = correlated.independence_baseline(FOTDataset(tickets), n_days=1411)
+        assert p == 0.0
+
+    def test_small_probability_for_realistic_counts(self, small_dataset):
+        # paper: "the chance of two independent failures happening on
+        # the same server on the same day is less than 5 %".
+        p = correlated.independence_baseline(small_dataset, n_days=1411)
+        assert 0.0 <= p < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlated.independence_baseline(FOTDataset([]), 100)

@@ -1,0 +1,120 @@
+"""Lifecycle analyses (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import lifecycle
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import MONTH
+from repro.core.types import ComponentClass
+from tests.test_ticket import make_ticket
+
+
+class TestMonthlyFailureRates:
+    def test_counts_sum_to_failures_within_horizon(self, small_dataset):
+        curve = lifecycle.monthly_failure_rates(
+            small_dataset, ComponentClass.HDD, n_months=48
+        )
+        failures = small_dataset.failures().of_component(ComponentClass.HDD)
+        assert curve.counts.sum() <= len(failures)
+        assert curve.months.size == 48
+
+    def test_normalized_to_peak(self, small_dataset, small_trace):
+        curve = lifecycle.monthly_failure_rates(
+            small_dataset, ComponentClass.HDD, small_trace.inventory
+        )
+        assert curve.normalized_rate.max() == pytest.approx(1.0)
+        assert np.all(curve.normalized_rate >= 0)
+
+    def test_exposure_denominator_used(self, small_dataset, small_trace):
+        with_inv = lifecycle.monthly_failure_rates(
+            small_dataset, ComponentClass.HDD, small_trace.inventory
+        )
+        without = lifecycle.monthly_failure_rates(
+            small_dataset, ComponentClass.HDD, None
+        )
+        assert with_inv.exposure is not None
+        assert without.exposure is None
+        # Shapes differ once exposure-corrected.
+        assert not np.allclose(with_inv.normalized_rate, without.normalized_rate)
+
+    def test_no_failures_rejected(self, small_dataset):
+        empty = small_dataset.where(np.zeros(len(small_dataset), dtype=bool))
+        with pytest.raises(ValueError):
+            lifecycle.monthly_failure_rates(empty, ComponentClass.HDD)
+
+    def test_synthetic_known_curve(self):
+        # 10 failures in month 0, 5 in month 2, deployed at t=0.
+        tickets = [
+            make_ticket(fot_id=i, error_time=float(i), deployed_at=0.0)
+            for i in range(10)
+        ] + [
+            make_ticket(fot_id=100 + i, error_time=2 * MONTH + float(i),
+                        deployed_at=0.0)
+            for i in range(5)
+        ]
+        curve = lifecycle.monthly_failure_rates(
+            FOTDataset(tickets), ComponentClass.HDD, n_months=4
+        )
+        assert curve.counts[0] == 10
+        assert curve.counts[1] == 0
+        assert curve.counts[2] == 5
+
+    def test_share_helpers(self):
+        tickets = [
+            make_ticket(fot_id=i, error_time=float(i), deployed_at=0.0)
+            for i in range(8)
+        ] + [
+            make_ticket(fot_id=50 + i, error_time=5 * MONTH + float(i),
+                        deployed_at=0.0)
+            for i in range(2)
+        ]
+        curve = lifecycle.monthly_failure_rates(
+            FOTDataset(tickets), ComponentClass.HDD, n_months=12
+        )
+        assert curve.share_before(3) == pytest.approx(0.8)
+        assert curve.share_after(3) == pytest.approx(0.2)
+
+    def test_mean_rate_validation(self, small_dataset):
+        curve = lifecycle.monthly_failure_rates(small_dataset, ComponentClass.HDD)
+        with pytest.raises(ValueError):
+            curve.mean_rate(10, 5)
+
+
+class TestPaperShapes:
+    """The generated trace must show the paper's lifecycle shapes."""
+
+    @pytest.fixture(scope="class")
+    def curves(self, small_dataset, small_trace):
+        return lifecycle.lifecycle_summary(
+            small_dataset, small_trace.inventory, n_months=48, min_failures=40
+        )
+
+    def test_major_classes_covered(self, curves):
+        assert ComponentClass.HDD in curves
+        assert ComponentClass.MISC in curves
+
+    def test_hdd_wears_out(self, curves):
+        curve = curves[ComponentClass.HDD]
+        early = curve.mean_rate(3, 9)
+        late = curve.mean_rate(30, 42)
+        assert late > 1.3 * early
+
+    def test_hdd_infant_mortality(self, curves):
+        uplift = lifecycle.infant_mortality_uplift(curves[ComponentClass.HDD])
+        assert uplift > 0.0
+
+    def test_misc_deployment_spike(self, curves):
+        curve = curves[ComponentClass.MISC]
+        assert curve.normalized_rate[0] == pytest.approx(1.0)
+        assert curve.normalized_rate[0] > 3 * curve.mean_rate(2, 12)
+
+    def test_raid_infant_mortality_if_present(self, small_dataset, small_trace):
+        failures = small_dataset.failures().of_component(ComponentClass.RAID_CARD)
+        if len(failures) < 60:
+            pytest.skip("too few RAID failures at this scale")
+        curve = lifecycle.monthly_failure_rates(
+            small_dataset, ComponentClass.RAID_CARD, small_trace.inventory
+        )
+        # paper: 47.4 % of RAID failures in the first six months.
+        assert curve.share_before(6) > 0.25

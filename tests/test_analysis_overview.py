@@ -1,0 +1,109 @@
+"""Overview analyses (Tables I/II/III, Figure 2)."""
+
+import pytest
+
+from repro.analysis import overview
+from repro.core.dataset import FOTDataset
+from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+from repro.simulation import calibration
+from tests.test_ticket import make_ticket
+
+
+class TestCategoryBreakdown:
+    def test_fractions_sum_to_one(self, small_dataset):
+        result = overview.category_breakdown(small_dataset)
+        assert sum(result.fractions.values()) == pytest.approx(1.0)
+        assert result.total == len(small_dataset)
+
+    def test_matches_paper_shape(self, small_dataset):
+        # Table I: 70.3 / 28.0 / 1.7 — generous bands at test scale.
+        result = overview.category_breakdown(small_dataset)
+        assert 0.60 <= result.fraction(FOTCategory.FIXING) <= 0.82
+        assert 0.17 <= result.fraction(FOTCategory.ERROR) <= 0.38
+        assert 0.005 <= result.fraction(FOTCategory.FALSE_ALARM) <= 0.035
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overview.category_breakdown(FOTDataset([]))
+
+    def test_counts_exact(self):
+        ds = FOTDataset([
+            make_ticket(category=FOTCategory.FIXING),
+            make_ticket(category=FOTCategory.FIXING),
+            make_ticket(category=FOTCategory.ERROR),
+        ])
+        result = overview.category_breakdown(ds)
+        assert result.counts[FOTCategory.FIXING] == 2
+        assert result.counts[FOTCategory.FALSE_ALARM] == 0
+
+
+class TestComponentBreakdown:
+    def test_shares_sum_to_one(self, small_dataset):
+        shares = overview.component_breakdown(small_dataset)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_sorted_descending(self, small_dataset):
+        values = list(overview.component_breakdown(small_dataset).values())
+        assert values == sorted(values, reverse=True)
+
+    def test_hdd_dominates(self, small_dataset):
+        # Table II: HDD 81.84 %.
+        shares = overview.component_breakdown(small_dataset)
+        assert list(shares)[0] is ComponentClass.HDD
+        assert 0.70 <= shares[ComponentClass.HDD] <= 0.90
+
+    def test_misc_second(self, small_dataset):
+        shares = overview.component_breakdown(small_dataset)
+        assert list(shares)[1] is ComponentClass.MISC
+        assert 0.06 <= shares[ComponentClass.MISC] <= 0.15
+
+    def test_excludes_false_alarms(self):
+        ds = FOTDataset([
+            make_ticket(error_device=ComponentClass.HDD),
+            make_ticket(error_device=ComponentClass.SSD,
+                        category=FOTCategory.FALSE_ALARM, op_time=2000.0),
+        ])
+        shares = overview.component_breakdown(ds)
+        assert ComponentClass.SSD not in shares
+
+
+class TestTypeBreakdown:
+    def test_shares_sum_to_one(self, small_dataset):
+        shares = overview.failure_type_breakdown(small_dataset, ComponentClass.HDD)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_hdd_mix_tracks_calibration(self, small_dataset):
+        shares = overview.failure_type_breakdown(small_dataset, ComponentClass.HDD)
+        target = calibration.TYPE_MIX[ComponentClass.HDD]
+        # SMARTFail dominates; forced storm types push it a bit higher.
+        assert list(shares)[0] == "SMARTFail"
+        assert shares["SMARTFail"] >= target["SMARTFail"] * 0.8
+
+    def test_memory_mix(self, small_dataset):
+        shares = overview.failure_type_breakdown(small_dataset, ComponentClass.MEMORY)
+        assert set(shares) <= {"DIMMCE", "DIMMUE"}
+        assert shares["DIMMCE"] > shares["DIMMUE"]
+
+    def test_unknown_component_rejected(self):
+        ds = FOTDataset([make_ticket()])
+        with pytest.raises(ValueError):
+            overview.failure_type_breakdown(ds, ComponentClass.CPU)
+
+
+class TestDetectionSources:
+    def test_ninety_percent_automatic(self, small_dataset):
+        # Section II-A: agents detect ~90 % automatically.
+        shares = overview.detection_source_breakdown(small_dataset)
+        automatic = shares[DetectionSource.SYSLOG] + shares[DetectionSource.POLLING]
+        assert 0.82 <= automatic <= 0.97
+        assert shares[DetectionSource.MANUAL] == pytest.approx(
+            1.0 - automatic
+        )
+
+
+class TestTableIII:
+    def test_returns_documented_types(self):
+        rows = overview.table_iii()
+        names = {r[0] for r in rows}
+        assert "SMARTFail" in names
+        assert "DIMMUE" in names

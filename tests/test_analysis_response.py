@@ -1,0 +1,103 @@
+"""Operator response analyses (Figures 9/10/11)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import response
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY
+from repro.core.types import ComponentClass, FOTCategory
+from tests.test_ticket import make_ticket
+
+
+class TestRTStats:
+    def test_from_seconds(self):
+        rts = np.array([1.0, 2.0, 3.0, 400.0]) * DAY
+        stats = response.RTStats.from_seconds(rts)
+        assert stats.n == 4
+        assert stats.median_days == pytest.approx(2.5)
+        assert stats.tail_200d == pytest.approx(0.25)
+        assert stats.cdf(2.0) == pytest.approx(0.5)
+
+    def test_no_responses_rejected(self):
+        ds = FOTDataset([make_ticket(category=FOTCategory.ERROR)])
+        with pytest.raises(ValueError):
+            response.response_times_seconds(ds)
+
+
+class TestFigure9:
+    def test_fixing_distribution(self, small_dataset):
+        stats = response.rt_distribution(small_dataset, FOTCategory.FIXING)
+        # paper: median 6.1 d, mean 42.2 d, long tails that are still
+        # eventually closed.
+        assert 2.0 <= stats.median_days <= 20.0
+        assert stats.mean_days > 2 * stats.median_days
+        assert stats.tail_140d > 0.005
+        assert stats.p99_days > 60
+
+    def test_false_alarm_distribution(self, small_dataset):
+        stats = response.rt_distribution(small_dataset, FOTCategory.FALSE_ALARM)
+        # paper: median 4.9 d, mean 19.1 d.
+        assert 1.5 <= stats.median_days <= 15.0
+        assert stats.mean_days > stats.median_days
+
+    def test_mttr_days(self, small_dataset):
+        mean, median = response.mttr_days(small_dataset, FOTCategory.FIXING)
+        assert mean > median
+
+    def test_empty_category_rejected(self):
+        ds = FOTDataset([make_ticket()])
+        with pytest.raises(ValueError):
+            response.rt_distribution(ds, FOTCategory.FALSE_ALARM)
+
+
+class TestFigure10:
+    def test_per_component_stats(self, small_dataset):
+        by_class = response.rt_by_component(small_dataset, min_tickets=20)
+        assert ComponentClass.HDD in by_class
+        for stats in by_class.values():
+            assert stats.n >= 20
+
+    def test_ssd_and_misc_fastest(self, small_dataset):
+        # Fig 10: SSD and miscellaneous medians are the shortest.
+        by_class = response.rt_by_component(small_dataset, min_tickets=15)
+        hdd = by_class[ComponentClass.HDD].median_days
+        if ComponentClass.SSD in by_class:
+            assert by_class[ComponentClass.SSD].median_days < hdd
+        assert by_class[ComponentClass.MISC].median_days < hdd
+
+    def test_min_tickets_filter(self, small_dataset):
+        # Impossible threshold -> nothing qualifies -> error.
+        with pytest.raises(ValueError):
+            response.rt_by_component(small_dataset, min_tickets=10**9)
+
+    def test_no_class_qualifies_raises(self):
+        ds = FOTDataset([make_ticket(op_time=2000.0)])
+        with pytest.raises(ValueError):
+            response.rt_by_component(ds, min_tickets=50)
+
+
+class TestFigure11:
+    def test_points_sorted_by_volume(self, small_dataset):
+        points = response.rt_by_product_line(small_dataset)
+        volumes = [p.n_failures for p in points]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_summary_quotes(self, small_dataset):
+        summary = response.product_line_rt_summary(small_dataset)
+        assert summary.n_lines >= 5
+        # paper: top-1 % lines respond in ~47 days — much slower than
+        # the volume-weighted typical line.
+        overall = response.rt_distribution(small_dataset).median_days
+        assert summary.top_percent_median_days > overall
+        assert 0.0 <= summary.small_line_slow_fraction <= 1.0
+        assert summary.rt_std_days > 0
+
+    def test_all_components_mode(self, small_dataset):
+        points = response.rt_by_product_line(small_dataset, component=None)
+        assert points
+
+    def test_empty_raises(self):
+        ds = FOTDataset([make_ticket(op_time=2000.0)])
+        with pytest.raises(ValueError):
+            response.product_line_rt_summary(ds)

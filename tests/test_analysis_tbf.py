@@ -1,0 +1,95 @@
+"""TBF analyses (Figure 5, MTBF statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tbf
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import MINUTE
+from repro.core.types import ComponentClass
+from tests.test_ticket import make_ticket
+
+
+class TestTBFValues:
+    def test_gaps_positive(self, small_dataset):
+        gaps = tbf.tbf_values(small_dataset)
+        assert np.all(gaps >= 1.0)
+        assert gaps.size == len(small_dataset.failures()) - 1
+
+    def test_simultaneous_failures_floored(self):
+        ds = FOTDataset([
+            make_ticket(fot_id=i, error_time=100.0) for i in range(3)
+        ])
+        gaps = tbf.tbf_values(ds)
+        np.testing.assert_allclose(gaps, 1.0)
+
+    def test_too_few_failures(self):
+        with pytest.raises(ValueError):
+            tbf.tbf_values(FOTDataset([make_ticket()]))
+
+
+class TestAnalyzeTBF:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_dataset):
+        return tbf.analyze_tbf(small_dataset)
+
+    def test_all_families_fitted(self, analysis):
+        assert set(analysis.fits) == {"exponential", "weibull", "gamma", "lognormal"}
+
+    def test_all_families_rejected(self, analysis):
+        # The paper's headline: none of the distributions fits.
+        assert analysis.all_rejected_at(0.05)
+
+    def test_mtbf_scales_with_volume(self, analysis, small_dataset):
+        span = small_dataset.failures().span_seconds
+        expected = span / (len(small_dataset.failures()) - 1)
+        assert analysis.mtbf_seconds == pytest.approx(expected, rel=0.01)
+        assert analysis.mtbf_minutes == analysis.mtbf_seconds / MINUTE
+
+    def test_cdf_series_shapes(self, analysis):
+        series = analysis.cdf_series(50)
+        assert "data" in series and "exponential" in series
+        xs, ps = series["data"]
+        assert xs.size == ps.size
+        assert np.all(np.diff(ps) >= 0)
+
+    def test_empirical_heavier_at_small_values_than_exponential(self, analysis):
+        # Batch failures create excess mass at tiny TBFs (Fig 5).
+        series = analysis.cdf_series(200)
+        xs, data_ps = series["data"]
+        _, exp_ps = series["exponential"]
+        idx = np.searchsorted(xs, 60.0)  # one minute
+        if idx < xs.size:
+            assert data_ps[idx] > exp_ps[idx]
+
+
+class TestPerComponent:
+    def test_component_tests_reject(self, small_dataset):
+        results = tbf.tbf_per_component(small_dataset, min_failures=300)
+        assert ComponentClass.HDD in results
+        for family_results in results.values():
+            for result in family_results.values():
+                assert result.n > 0
+
+
+class TestMTBFByIdc:
+    def test_per_dc_values(self, small_dataset):
+        by_idc = tbf.mtbf_by_idc(small_dataset)
+        assert len(by_idc) >= 2
+        assert all(v > 0 for v in by_idc.values())
+
+    def test_range(self, small_dataset):
+        lo, hi = tbf.mtbf_range_minutes(small_dataset)
+        assert 0 < lo <= hi
+        # Paper: per-DC MTBF varies by an order of magnitude (32-390).
+        assert hi / lo > 2.0
+
+    def test_small_dcs_skipped(self):
+        ds = FOTDataset([
+            make_ticket(fot_id=0, host_idc="dc00", error_time=1.0),
+            make_ticket(fot_id=1, host_idc="dc00", error_time=500.0),
+            make_ticket(fot_id=2, host_idc="dc01", error_time=2.0),
+        ])
+        by_idc = tbf.mtbf_by_idc(ds)
+        assert "dc01" not in by_idc
+        assert "dc00" in by_idc

@@ -1,0 +1,81 @@
+"""Temporal analyses (Figures 3/4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import temporal
+from repro.core.types import ComponentClass
+
+
+class TestDayOfWeekProfile:
+    def test_fractions_normalized(self, small_dataset):
+        profile = temporal.day_of_week_profile(small_dataset, ComponentClass.HDD)
+        assert profile.fractions.shape == (7,)
+        assert profile.fractions.sum() == pytest.approx(1.0)
+        assert profile.labels == ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+
+    def test_hdd_rejects_uniformity(self, small_dataset):
+        # Hypothesis 1 rejected at 0.01 for every class in the paper.
+        profile = temporal.day_of_week_profile(small_dataset, ComponentClass.HDD)
+        assert profile.test.reject_at(0.01)
+
+    def test_weekend_dip(self, small_dataset):
+        profile = temporal.day_of_week_profile(small_dataset, ComponentClass.HDD)
+        weekday = profile.fractions[:5].mean()
+        weekend = profile.fractions[5:].mean()
+        assert weekday > weekend
+
+    def test_misc_strong_weekend_dip(self, small_dataset):
+        profile = temporal.day_of_week_profile(small_dataset, ComponentClass.MISC)
+        assert profile.fractions[:5].mean() > 1.5 * profile.fractions[5:].mean()
+
+    def test_missing_component_rejected(self, small_dataset):
+        empty = small_dataset.where(np.zeros(len(small_dataset), dtype=bool))
+        with pytest.raises(ValueError):
+            temporal.day_of_week_profile(empty, ComponentClass.HDD)
+
+
+class TestHourOfDayProfile:
+    def test_fractions_normalized(self, small_dataset):
+        profile = temporal.hour_of_day_profile(small_dataset, ComponentClass.HDD)
+        assert profile.fractions.shape == (24,)
+        assert profile.fractions.sum() == pytest.approx(1.0)
+
+    def test_rejects_uniformity(self, small_dataset):
+        # The paper rejects for all eight plotted classes; at test scale
+        # only the high-volume classes carry enough statistical power.
+        for cls in (ComponentClass.HDD, ComponentClass.MISC):
+            profile = temporal.hour_of_day_profile(small_dataset, cls)
+            assert profile.test.reject_at(0.01), cls
+
+    def test_hdd_follows_workload(self, small_dataset):
+        profile = temporal.hour_of_day_profile(small_dataset, ComponentClass.HDD)
+        # Midday detection beats the pre-dawn trough (Fig 4a).
+        assert profile.fractions[11] > profile.fractions[5]
+
+    def test_misc_working_hours(self, small_dataset):
+        profile = temporal.hour_of_day_profile(small_dataset, ComponentClass.MISC)
+        assert profile.fractions[9:18].sum() > 0.5
+
+
+class TestSummaries:
+    def test_top_components_order(self, small_dataset):
+        top = temporal.top_components(small_dataset, 4)
+        assert top[0] is ComponentClass.HDD
+        assert len(top) == 4
+
+    def test_day_summary_covers_top_classes(self, small_dataset):
+        summary = temporal.day_of_week_summary(small_dataset, 4)
+        assert ComponentClass.HDD in summary
+        assert len(summary) == 4
+
+    def test_hour_summary(self, small_dataset):
+        summary = temporal.hour_of_day_summary(small_dataset, 8)
+        assert len(summary) == 8
+        for profile in summary.values():
+            assert profile.n_failures > 0
+
+    def test_weekday_robustness(self, small_dataset):
+        # The paper still rejects at 0.02 after dropping weekends.
+        result = temporal.weekday_robustness_test(small_dataset)
+        assert result.reject_at(0.02)

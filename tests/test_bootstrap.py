@@ -1,0 +1,72 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap
+
+
+class TestBootstrapCI:
+    def test_estimate_inside_interval(self, rng):
+        data = rng.normal(10.0, 2.0, 500)
+        ci = bootstrap.bootstrap_ci(data, lambda x: float(x.mean()), rng=rng)
+        assert ci.lower <= ci.estimate <= ci.upper
+
+    def test_coverage_calibrated(self, rng):
+        # ~95 % of intervals should contain the true mean.
+        hits = 0
+        trials = 120
+        for _ in range(trials):
+            data = rng.normal(5.0, 1.0, 80)
+            ci = bootstrap.mean_ci(data, n_resamples=300, rng=rng)
+            hits += ci.contains(5.0)
+        assert hits / trials > 0.85
+
+    def test_narrower_with_more_data(self, rng):
+        small = bootstrap.mean_ci(rng.normal(0, 1, 50), rng=rng)
+        large = bootstrap.mean_ci(rng.normal(0, 1, 5000), rng=rng)
+        assert large.width < small.width
+
+    def test_deterministic_with_seeded_rng(self):
+        data = np.arange(100, dtype=float)
+        a = bootstrap.median_ci(data, rng=np.random.default_rng(3))
+        b = bootstrap.median_ci(data, rng=np.random.default_rng(3))
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap.bootstrap_ci([1.0], np.mean)
+        with pytest.raises(ValueError):
+            bootstrap.bootstrap_ci([1.0, 2.0], np.mean, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap.bootstrap_ci([1.0, 2.0], np.mean, n_resamples=5)
+
+
+class TestHelpers:
+    def test_median_ci_on_heavy_tail(self, rng):
+        data = rng.lognormal(2.0, 1.5, 2000)
+        ci = bootstrap.median_ci(data, rng=rng)
+        true_median = float(np.exp(2.0))
+        assert ci.lower < true_median < ci.upper
+
+    def test_fraction_ci(self, rng):
+        ci = bootstrap.fraction_ci(703, 1000, rng=rng)
+        assert ci.estimate == pytest.approx(0.703)
+        assert ci.contains(0.703)
+        assert 0.65 < ci.lower < ci.upper < 0.76
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap.fraction_ci(5, 3)
+        with pytest.raises(ValueError):
+            bootstrap.fraction_ci(1, 1)
+
+    def test_paper_share_within_ci_of_trace(self, small_dataset):
+        # Table I: the D_fixing share of the synthetic trace should have
+        # the paper's 70.3 % inside (or near) its 99 % interval.
+        from repro.core.types import FOTCategory
+        n_fixing = len(small_dataset.of_category(FOTCategory.FIXING))
+        ci = bootstrap.fraction_ci(
+            n_fixing, len(small_dataset), confidence=0.99
+        )
+        assert abs(ci.estimate - 0.703) < 0.1

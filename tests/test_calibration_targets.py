@@ -1,0 +1,93 @@
+"""Integration: the synthetic trace hits the paper's headline numbers.
+
+These assertions use generous bands because the shared fixture trace is
+small (4 % scale); the benchmarks check the same targets at paper scale
+and record the comparison in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import overview, repeating, response, tbf
+from repro.core.types import ComponentClass, FOTCategory
+from repro.simulation import calibration
+
+
+class TestCalibrationSanity:
+    def test_component_mix_sums_to_one(self):
+        assert sum(calibration.COMPONENT_MIX.values()) == pytest.approx(1.0, abs=1e-3)
+
+    def test_type_mixes_reference_registered_types(self):
+        from repro.core.failure_types import REGISTRY
+        for cls, mix in calibration.TYPE_MIX.items():
+            for name in mix:
+                assert name in REGISTRY
+                assert REGISTRY[name].component is cls
+
+    def test_validate_runs(self):
+        calibration.validate()
+
+
+class TestTableI:
+    def test_category_split(self, small_dataset):
+        cats = overview.category_breakdown(small_dataset)
+        target = calibration.PAPER_TARGETS["category_split"]
+        assert cats.fraction(FOTCategory.FIXING) == pytest.approx(
+            target["d_fixing"], abs=0.12
+        )
+        assert cats.fraction(FOTCategory.ERROR) == pytest.approx(
+            target["d_error"], abs=0.12
+        )
+        assert cats.fraction(FOTCategory.FALSE_ALARM) == pytest.approx(
+            target["d_falsealarm"], abs=0.012
+        )
+
+
+class TestTableII:
+    def test_top_shares(self, small_dataset):
+        shares = overview.component_breakdown(small_dataset)
+        assert shares[ComponentClass.HDD] == pytest.approx(0.8184, abs=0.08)
+        assert shares[ComponentClass.MISC] == pytest.approx(0.102, abs=0.04)
+        assert shares.get(ComponentClass.MEMORY, 0) == pytest.approx(0.0306, abs=0.02)
+
+    def test_full_ranking_plausible(self, small_dataset):
+        shares = overview.component_breakdown(small_dataset)
+        ranked = list(shares)
+        assert ranked[0] is ComponentClass.HDD
+        assert ranked[1] is ComponentClass.MISC
+
+
+class TestFigure5:
+    def test_no_distribution_fits(self, small_dataset):
+        analysis = tbf.analyze_tbf(small_dataset)
+        assert analysis.all_rejected_at(0.05)
+
+    def test_mtbf_consistent_with_scale(self, small_dataset, small_trace):
+        # Paper-scale MTBF is 6.8 min for ~286k failures; at scale s the
+        # MTBF grows roughly as 1/s.
+        analysis = tbf.analyze_tbf(small_dataset)
+        scale = small_trace.config.scale
+        expected = 6.8 / scale
+        assert analysis.mtbf_minutes == pytest.approx(expected, rel=0.5)
+
+
+class TestSectionIIID:
+    def test_repeat_targets(self, small_dataset):
+        stats = repeating.repeating_stats(small_dataset)
+        assert stats.repeat_free_fraction > calibration.PAPER_TARGETS[
+            "repeat_free_fixed_components"
+        ]
+        assert stats.repeating_server_fraction == pytest.approx(
+            calibration.PAPER_TARGETS["repeating_server_share"], abs=0.05
+        )
+
+
+class TestSectionVI:
+    def test_rt_medians(self, small_dataset):
+        fixing = response.rt_distribution(small_dataset, FOTCategory.FIXING)
+        false_alarm = response.rt_distribution(
+            small_dataset, FOTCategory.FALSE_ALARM
+        )
+        assert fixing.median_days == pytest.approx(6.1, abs=6.0)
+        assert false_alarm.median_days == pytest.approx(4.9, abs=3.5)
+        # Heavy tails: means far above medians, as in Fig 9.
+        assert fixing.mean_days / fixing.median_days > 2.5

@@ -1,0 +1,129 @@
+"""Pearson chi-squared test: correctness, calibration, pooling."""
+
+import numpy as np
+import pytest
+
+from repro.stats.chisquare import (
+    ChiSquareResult,
+    chi_square_counts,
+    chi_square_fit,
+)
+from repro.stats.distributions import Exponential, Gamma, Weibull
+
+
+class TestCounts:
+    def test_uniform_counts_not_rejected(self, rng):
+        counts = rng.multinomial(7000, np.full(7, 1 / 7))
+        result = chi_square_counts(counts)
+        assert result.df == 6
+        assert not result.reject_at(0.001)
+
+    def test_skewed_counts_rejected(self):
+        counts = [1000, 1000, 1000, 1000, 1000, 400, 400]
+        result = chi_square_counts(counts)
+        assert result.reject_at(0.01)
+
+    def test_matches_scipy(self, rng):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        counts = rng.multinomial(5000, np.full(10, 0.1))
+        ours = chi_square_counts(counts, pool=False)
+        theirs = scipy_stats.chisquare(counts)
+        assert ours.statistic == pytest.approx(float(theirs.statistic))
+        assert ours.p_value == pytest.approx(float(theirs.pvalue), abs=1e-9)
+
+    def test_expected_probs_respected(self):
+        # Counts matching a 2:1 expectation should not reject it.
+        result = chi_square_counts([200, 100], [2 / 3, 1 / 3])
+        assert result.statistic == pytest.approx(0.0)
+        assert not result.reject_at(0.05)
+
+    def test_false_positive_rate_calibrated(self, rng):
+        # Under the null, roughly 5 % of tests reject at alpha = 0.05.
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            counts = rng.multinomial(2000, np.full(24, 1 / 24))
+            if chi_square_counts(counts).reject_at(0.05):
+                rejections += 1
+        assert 0.02 <= rejections / trials <= 0.09
+
+    def test_param_charge_reduces_df(self, rng):
+        counts = rng.multinomial(1000, np.full(8, 1 / 8))
+        result = chi_square_counts(counts, n_estimated_params=2)
+        assert result.df == 5
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            chi_square_counts([5])
+        with pytest.raises(ValueError):
+            chi_square_counts([-1, 5])
+        with pytest.raises(ValueError):
+            chi_square_counts([0, 0])
+        with pytest.raises(ValueError):
+            chi_square_counts([10, 20], [0.5])
+        with pytest.raises(ValueError):
+            chi_square_counts([10, 20], [0.0, 0.0])
+
+    def test_reject_at_validates_alpha(self):
+        result = chi_square_counts([100, 100])
+        with pytest.raises(ValueError):
+            result.reject_at(1.5)
+
+
+class TestPooling:
+    def test_small_expected_bins_pooled(self):
+        # 10 categories, tiny counts: pooling keeps expected >= 5.
+        counts = [1, 2, 1, 1, 2, 1, 9, 8, 1, 2]
+        result = chi_square_counts(counts)
+        assert result.bins < 10
+        assert result.n == sum(counts)
+
+    def test_pooling_preserves_total(self, rng):
+        counts = rng.poisson(1.2, size=30)
+        counts[0] += 50
+        result = chi_square_counts(counts)
+        assert result.n == int(counts.sum())
+
+
+class TestFitTest:
+    def test_correct_family_not_rejected(self, rng):
+        data = rng.exponential(10.0, 5000)
+        dist = Exponential.fit(data)
+        result = chi_square_fit(data, dist)
+        assert not result.reject_at(0.001)
+
+    def test_wrong_family_rejected(self, rng):
+        # Strongly bimodal data is not exponential.
+        data = np.concatenate([
+            rng.normal(1.0, 0.05, 3000).clip(0.01),
+            rng.normal(100.0, 1.0, 3000),
+        ])
+        result = chi_square_fit(data, Exponential.fit(data))
+        assert result.reject_at(0.001)
+
+    def test_df_charges_parameters(self, rng):
+        data = rng.gamma(2.0, 5.0, 2000)
+        dist = Gamma.fit(data)
+        result = chi_square_fit(data, dist, n_bins=20)
+        assert result.df == 20 - 1 - 2
+
+    def test_weibull_on_weibull(self, rng):
+        data = 5.0 * rng.weibull(1.5, 4000)
+        result = chi_square_fit(data, Weibull.fit(data))
+        assert not result.reject_at(0.001)
+
+    def test_needs_minimum_sample(self):
+        with pytest.raises(ValueError):
+            chi_square_fit(np.ones(5), Exponential(1.0))
+
+    def test_hypothesis_string_recorded(self, rng):
+        data = rng.exponential(1.0, 1000)
+        result = chi_square_fit(data, Exponential.fit(data), hypothesis="TBF ~ exp")
+        assert result.hypothesis == "TBF ~ exp"
+
+
+class TestResultObject:
+    def test_str_contains_stats(self):
+        result = ChiSquareResult(12.3, 6, 0.054, 100, 7, "h")
+        text = str(result)
+        assert "12.3" in text and "df=6" in text

@@ -1,0 +1,57 @@
+"""Dataset comparison module."""
+
+import pytest
+
+from repro.analysis import compare
+from repro.config import paper_scenario
+from repro.core.dataset import FOTDataset
+from repro.simulation.trace import generate_trace
+
+
+class TestCompareDatasets:
+    def test_self_comparison_is_tight(self, small_dataset):
+        result = compare.compare_datasets(small_dataset, small_dataset)
+        assert result.within(0.01)
+        assert result.component_share_l1 == 0.0
+        for m in result.metrics:
+            assert m.abs_difference == 0.0
+            assert m.ratio == pytest.approx(1.0)
+
+    def test_same_generator_different_seed_is_close(self, small_dataset):
+        other = generate_trace(paper_scenario(scale=0.04, seed=999)).dataset
+        result = compare.compare_datasets(small_dataset, other)
+        # Same process, different randomness: close but not identical.
+        assert result.component_share_l1 < 0.08
+        assert result.dow_profile_l1 < 0.15
+        assert result.within(0.5)
+
+    def test_half_split_comparison(self, small_dataset):
+        ordered = small_dataset.sorted_by_time()
+        mid = len(ordered) // 2
+        first, second = ordered[:mid], ordered[mid:]
+        result = compare.compare_datasets(first, second)
+        # The fleet ages across the trace, so the halves differ more in
+        # lifecycle-sensitive metrics, but shares stay comparable.
+        assert result.component_share_l1 < 0.2
+
+    def test_empty_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            compare.compare_datasets(FOTDataset([]), small_dataset)
+
+    def test_within_validates_tolerance(self, small_dataset):
+        result = compare.compare_datasets(small_dataset, small_dataset)
+        with pytest.raises(ValueError):
+            result.within(0.0)
+
+    def test_worst_ratio_identified(self, small_dataset):
+        other = generate_trace(paper_scenario(scale=0.04, seed=321)).dataset
+        result = compare.compare_datasets(small_dataset, other)
+        worst = result.worst_ratio()
+        assert worst in result.metrics
+
+    def test_rows_renderable(self, small_dataset):
+        from repro.analysis import report
+        result = compare.compare_datasets(small_dataset, small_dataset)
+        rows = compare.comparison_rows(result)
+        text = report.format_table(["metric", "left", "right"], rows)
+        assert "share:d_fixing" in text

@@ -1,0 +1,89 @@
+"""Scenario/fleet configuration."""
+
+import pytest
+
+from repro.config import (
+    FleetConfig,
+    ScenarioConfig,
+    SpatialProfile,
+    paper_scenario,
+    small_scenario,
+    tiny_scenario,
+)
+from repro.core.timeutil import DAY, PAPER_TRACE_DAYS
+
+
+class TestSpatialProfile:
+    def test_valid_kinds(self):
+        for kind in ("uniform", "hotspot", "gradient"):
+            SpatialProfile(kind=kind)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            SpatialProfile(kind="quantum")
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        cfg = ScenarioConfig()
+        assert cfg.horizon_days == PAPER_TRACE_DAYS
+        assert cfg.horizon_seconds == PAPER_TRACE_DAYS * DAY
+        assert cfg.scaled_target_failures == cfg.target_failures
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(scale=-0.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(scale=2.0)
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(horizon_days=10)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(target_failures=10)
+
+    def test_scaled_targets(self):
+        cfg = ScenarioConfig(scale=0.1)
+        assert cfg.scaled_target_failures == int(0.1 * cfg.target_failures)
+
+
+class TestScaledFleet:
+    def test_full_scale_unchanged(self):
+        cfg = ScenarioConfig(scale=1.0)
+        assert cfg.scaled_fleet() == cfg.fleet
+
+    def test_mid_scale_keeps_dc_count(self):
+        cfg = ScenarioConfig(scale=0.5)
+        fleet = cfg.scaled_fleet()
+        assert fleet.n_datacenters == cfg.fleet.n_datacenters
+        assert fleet.servers_per_dc == int(cfg.fleet.servers_per_dc * 0.5)
+
+    def test_tiny_scale_keeps_minimum_dcs(self):
+        cfg = ScenarioConfig(scale=0.005)
+        fleet = cfg.scaled_fleet()
+        assert fleet.n_datacenters >= 6
+        assert fleet.servers_per_dc >= 20
+
+    def test_product_lines_floor(self):
+        cfg = ScenarioConfig(scale=0.01)
+        assert cfg.scaled_fleet().n_product_lines >= 12
+
+
+class TestPresets:
+    def test_presets_ordering(self):
+        tiny = tiny_scenario()
+        small = small_scenario()
+        paper = paper_scenario()
+        assert tiny.scale < small.scale < paper.scale
+        assert paper.scale == 1.0
+
+    def test_seed_plumbed(self):
+        assert paper_scenario(seed=42).seed == 42
+
+    def test_default_fleet_is_paper_sized(self):
+        fleet = FleetConfig()
+        assert fleet.n_datacenters == 24
+        # "hundreds of thousands of servers" at full scale.
+        assert fleet.n_datacenters * fleet.servers_per_dc >= 200_000

@@ -1,0 +1,72 @@
+"""Unit tests for the core enumerations."""
+
+import pytest
+
+from repro.core.types import (
+    ComponentClass,
+    DetectionSource,
+    FOTCategory,
+    OperatorAction,
+)
+
+
+class TestComponentClass:
+    def test_eleven_classes(self):
+        # Nine hardware classes + HDD backboard + miscellaneous.
+        assert len(ComponentClass) == 11
+
+    def test_hardware_excludes_misc(self):
+        hardware = ComponentClass.hardware()
+        assert ComponentClass.MISC not in hardware
+        assert len(hardware) == 10
+
+    def test_mechanical_components(self):
+        assert ComponentClass.HDD.is_mechanical
+        assert ComponentClass.FAN.is_mechanical
+        assert ComponentClass.POWER.is_mechanical
+        assert not ComponentClass.SSD.is_mechanical
+        assert not ComponentClass.MEMORY.is_mechanical
+
+    def test_round_trip_by_value(self):
+        for cls in ComponentClass:
+            assert ComponentClass(cls.value) is cls
+
+    def test_str_is_value(self):
+        assert str(ComponentClass.HDD) == "hdd"
+
+
+class TestFOTCategory:
+    def test_three_categories(self):
+        assert len(FOTCategory) == 3
+
+    def test_failure_definition(self):
+        # Section II: every FOT in D_fixing or D_error is a failure.
+        assert FOTCategory.FIXING.counts_as_failure
+        assert FOTCategory.ERROR.counts_as_failure
+        assert not FOTCategory.FALSE_ALARM.counts_as_failure
+
+    def test_values_match_paper_names(self):
+        assert FOTCategory.FIXING.value == "d_fixing"
+        assert FOTCategory.ERROR.value == "d_error"
+        assert FOTCategory.FALSE_ALARM.value == "d_falsealarm"
+
+
+class TestDetectionSource:
+    def test_automatic_flags(self):
+        assert DetectionSource.SYSLOG.is_automatic
+        assert DetectionSource.POLLING.is_automatic
+        assert not DetectionSource.MANUAL.is_automatic
+
+
+class TestOperatorAction:
+    @pytest.mark.parametrize(
+        "action,category",
+        [
+            (OperatorAction.REPAIR_ORDER, FOTCategory.FIXING),
+            (OperatorAction.DECOMMISSION, FOTCategory.ERROR),
+            (OperatorAction.MARK_FALSE_ALARM, FOTCategory.FALSE_ALARM),
+        ],
+    )
+    def test_action_implies_category(self, action, category):
+        # Table I maps each handling decision onto a ticket category.
+        assert action.category is category

@@ -1,0 +1,145 @@
+"""Unit tests for the FOTDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import FOTDataset
+from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+from tests.test_ticket import make_ticket
+
+
+@pytest.fixture()
+def mixed_dataset() -> FOTDataset:
+    tickets = [
+        make_ticket(fot_id=0, error_time=100.0, category=FOTCategory.FIXING,
+                    op_time=200.0, host_id=1, host_idc="dc00",
+                    error_device=ComponentClass.HDD, product_line="a"),
+        make_ticket(fot_id=1, error_time=50.0, category=FOTCategory.ERROR,
+                    host_id=2, host_idc="dc01",
+                    error_device=ComponentClass.MEMORY, product_line="b"),
+        make_ticket(fot_id=2, error_time=300.0,
+                    category=FOTCategory.FALSE_ALARM, op_time=400.0,
+                    host_id=1, host_idc="dc00",
+                    error_device=ComponentClass.HDD, product_line="a",
+                    source=DetectionSource.MANUAL),
+    ]
+    return FOTDataset(tickets)
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, mixed_dataset):
+        assert len(mixed_dataset) == 3
+        assert [t.fot_id for t in mixed_dataset] == [0, 1, 2]
+        assert mixed_dataset[1].fot_id == 1
+        assert isinstance(mixed_dataset[0:2], FOTDataset)
+        assert len(mixed_dataset[0:2]) == 2
+
+    def test_empty_dataset(self):
+        ds = FOTDataset([])
+        assert len(ds) == 0
+        assert ds.error_times.size == 0
+        assert ds.summary()["hosts"] == 0
+
+
+class TestColumns:
+    def test_error_times(self, mixed_dataset):
+        assert list(mixed_dataset.error_times) == [100.0, 50.0, 300.0]
+
+    def test_op_times_nan_for_open(self, mixed_dataset):
+        ops = mixed_dataset.op_times
+        assert ops[0] == 200.0
+        assert np.isnan(ops[1])
+
+    def test_response_times(self, mixed_dataset):
+        rts = mixed_dataset.response_times
+        assert rts[0] == 100.0
+        assert np.isnan(rts[1])
+        assert rts[2] == 100.0
+
+    def test_columns_immutable(self, mixed_dataset):
+        with pytest.raises(ValueError):
+            mixed_dataset.error_times[0] = 0.0
+
+    def test_columns_cached(self, mixed_dataset):
+        assert mixed_dataset.error_times is mixed_dataset.error_times
+
+
+class TestFiltering:
+    def test_failures_excludes_false_alarms(self, mixed_dataset):
+        failures = mixed_dataset.failures()
+        assert len(failures) == 2
+        assert all(t.is_failure for t in failures)
+
+    def test_of_category(self, mixed_dataset):
+        assert len(mixed_dataset.of_category(FOTCategory.ERROR)) == 1
+
+    def test_of_component(self, mixed_dataset):
+        assert len(mixed_dataset.of_component(ComponentClass.HDD)) == 2
+
+    def test_of_idc_and_line(self, mixed_dataset):
+        assert len(mixed_dataset.of_idc("dc01")) == 1
+        assert len(mixed_dataset.of_product_line("a")) == 2
+
+    def test_of_source(self, mixed_dataset):
+        assert len(mixed_dataset.of_source(DetectionSource.MANUAL)) == 1
+
+    def test_between(self, mixed_dataset):
+        assert len(mixed_dataset.between(60.0, 150.0)) == 1
+        # Half-open interval: start inclusive, end exclusive.
+        assert len(mixed_dataset.between(100.0, 300.0)) == 1
+
+    def test_where_mask(self, mixed_dataset):
+        subset = mixed_dataset.where(mixed_dataset.error_times > 60)
+        assert len(subset) == 2
+
+    def test_where_bad_shape_raises(self, mixed_dataset):
+        with pytest.raises(ValueError, match="mask shape"):
+            mixed_dataset.where(np.ones(5, dtype=bool))
+
+    def test_filter_predicate(self, mixed_dataset):
+        assert len(mixed_dataset.filter(lambda t: t.host_id == 1)) == 2
+
+    def test_sorted_by_time(self, mixed_dataset):
+        ordered = mixed_dataset.sorted_by_time()
+        times = [t.error_time for t in ordered]
+        assert times == sorted(times)
+
+
+class TestGrouping:
+    def test_by_component(self, mixed_dataset):
+        groups = mixed_dataset.by_component()
+        assert len(groups[ComponentClass.HDD]) == 2
+        assert len(groups[ComponentClass.MEMORY]) == 1
+
+    def test_by_host(self, mixed_dataset):
+        groups = mixed_dataset.by_host()
+        assert len(groups[1]) == 2
+
+    def test_by_idc_names(self, mixed_dataset):
+        assert mixed_dataset.idcs == ["dc00", "dc01"]
+        assert mixed_dataset.product_lines == ["a", "b"]
+
+
+class TestSummary:
+    def test_span(self, mixed_dataset):
+        assert mixed_dataset.span_seconds == 250.0
+
+    def test_concat(self, mixed_dataset):
+        doubled = mixed_dataset.concat(mixed_dataset)
+        assert len(doubled) == 6
+
+    def test_summary_fields(self, mixed_dataset):
+        s = mixed_dataset.summary()
+        assert s["tickets"] == 3
+        assert s["failures"] == 2
+        assert s["hosts"] == 2
+
+
+class TestOnGeneratedTrace:
+    def test_columns_consistent(self, tiny_dataset):
+        assert tiny_dataset.error_times.size == len(tiny_dataset)
+        assert tiny_dataset.component_codes.size == len(tiny_dataset)
+
+    def test_grouping_partitions(self, tiny_dataset):
+        groups = tiny_dataset.by_component()
+        assert sum(len(g) for g in groups.values()) == len(tiny_dataset)

@@ -1,0 +1,104 @@
+"""Dispersion test and calendar-trend analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import batch, trends
+from repro.core.types import ComponentClass
+from repro.stats.dispersion import dispersion_test
+
+
+class TestDispersionTest:
+    def test_poisson_not_rejected(self, rng):
+        counts = rng.poisson(50.0, size=1000)
+        result = dispersion_test(counts)
+        assert result.index == pytest.approx(1.0, abs=0.15)
+        assert not result.overdispersed
+
+    def test_overdispersed_rejected(self, rng):
+        lam = rng.lognormal(3.0, 1.0, size=500)
+        counts = rng.poisson(lam)
+        result = dispersion_test(counts)
+        assert result.index > 2.0
+        assert result.overdispersed
+        assert result.reject_poisson_at(0.01)
+
+    def test_underdispersed_not_flagged(self):
+        counts = np.full(200, 10.0)  # zero variance
+        result = dispersion_test(counts)
+        assert result.index == 0.0
+        assert not result.overdispersed
+        assert result.p_value > 0.99
+
+    def test_calibration_under_null(self, rng):
+        rejections = sum(
+            dispersion_test(rng.poisson(30.0, 200)).reject_poisson_at(0.05)
+            for _ in range(300)
+        )
+        assert 0.01 <= rejections / 300 <= 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dispersion_test([5.0])
+        with pytest.raises(ValueError):
+            dispersion_test([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            dispersion_test([0.0, 0.0])
+
+    def test_trace_daily_counts_overdispersed(self, small_dataset):
+        # The generator's day effects + storms must show up here.
+        counts = batch.daily_counts(small_dataset, ComponentClass.HDD)
+        result = dispersion_test(counts)
+        assert result.overdispersed
+
+
+class TestQuarterlyTrends:
+    @pytest.fixture(scope="class")
+    def report(self, small_dataset):
+        return trends.quarterly_trends(small_dataset)
+
+    def test_covers_full_window(self, report, small_dataset):
+        # ~1411 days -> 15 quarters.
+        assert 12 <= report.n_quarters <= 16
+        assert report.failures_per_quarter.sum() == len(
+            small_dataset.failures()
+        )
+
+    def test_volume_grows_with_fleet(self, report):
+        # Incremental deployment + wear-out: later quarters are busier.
+        assert report.growth_factor() > 1.2
+
+    def test_shares_are_fractions(self, report):
+        assert np.all((report.hdd_share_per_quarter >= 0)
+                      & (report.hdd_share_per_quarter <= 1))
+        assert np.all((report.manual_share_per_quarter >= 0)
+                      & (report.manual_share_per_quarter <= 1))
+
+    def test_hdd_dominates_every_quarter(self, report):
+        busy = report.failures_per_quarter > 100
+        assert np.all(report.hdd_share_per_quarter[busy] > 0.5)
+
+    def test_dispersion_computed_per_quarter(self, report):
+        computed = [d for d in report.dispersion_per_quarter if d is not None]
+        assert computed
+        # Batches are endemic, not an era: most quarters overdispersed.
+        over = sum(d.index > 1.5 for d in computed)
+        assert over >= len(computed) // 2
+
+
+class TestClassShareDrift:
+    def test_shares_bounded(self, small_dataset):
+        drift = trends.class_share_drift(small_dataset, ComponentClass.HDD)
+        assert drift.shape == (8,)
+        assert np.all((drift >= 0) & (drift <= 1))
+        assert drift.mean() > 0.5
+
+    def test_misc_share_declines(self, small_dataset):
+        # Misc reports concentrate at deployment; as the wave of new
+        # deployments ends (waves stop at +3.5 y), the share falls off.
+        drift = trends.class_share_drift(small_dataset, ComponentClass.MISC, 4)
+        assert drift[-1] <= drift.max()
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            trends.class_share_drift(small_dataset, ComponentClass.HDD, 1)

@@ -1,0 +1,109 @@
+"""ECDF, profiles and concentration helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.empirical import ECDF, ecdf, fraction_profile, gini, quantile
+
+
+class TestECDF:
+    def test_step_values(self):
+        e = ecdf([1.0, 2.0, 2.0, 4.0])
+        assert e(0.5) == 0.0
+        assert e(1.0) == 0.25
+        assert e(2.0) == 0.75
+        assert e(3.0) == 0.75
+        assert e(4.0) == 1.0
+        assert e(100.0) == 1.0
+
+    def test_vectorized_eval(self):
+        e = ecdf([1.0, 2.0, 3.0])
+        out = e(np.array([0.0, 1.5, 3.5]))
+        np.testing.assert_allclose(out, [0.0, 1 / 3, 1.0])
+
+    def test_quantile(self):
+        e = ecdf(list(range(1, 101)))
+        assert e.quantile(0.5) == 50
+        assert e.quantile(1.0) == 100
+        assert e.quantile(0.0) == 1
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            ecdf([1.0, 2.0]).quantile(1.5)
+
+    def test_tail_fraction(self):
+        e = ecdf(list(range(10)))
+        assert e.tail_fraction(6.5) == pytest.approx(0.3)
+
+    def test_series_downsamples(self):
+        e = ecdf(np.arange(10_000, dtype=float))
+        xs, ps = e.series(100)
+        assert xs.size <= 100
+        assert ps[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_properties(self, data):
+        e = ecdf(data)
+        # Monotone, bounded, hits 1 at the max.
+        assert np.all(np.diff(e.ps) > 0) or e.ps.size == 1
+        assert e.ps[-1] == pytest.approx(1.0)
+        assert e(min(data) - 1) == 0.0
+        assert e(max(data)) == pytest.approx(1.0)
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestFractionProfile:
+    def test_normalizes(self):
+        profile = fraction_profile([0, 0, 1, 2], 3)
+        np.testing.assert_allclose(profile, [0.5, 0.25, 0.25])
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_missing_bins_zero(self):
+        profile = fraction_profile([0, 0], 4)
+        assert profile[3] == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_profile([0, 5], 3)
+        with pytest.raises(ValueError):
+            fraction_profile([], 3)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini([5.0] * 100) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_concentration(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini(values) > 0.97
+
+    def test_known_value(self):
+        # For [1, 3]: gini = 0.25.
+        assert gini([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self, rng):
+        values = rng.pareto(2.0, 500) + 0.1
+        assert gini(values) == pytest.approx(gini(values * 7.3), abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini([])
+        with pytest.raises(ValueError):
+            gini([-1.0, 2.0])
+
+    def test_all_zero(self):
+        assert gini([0.0, 0.0]) == 0.0

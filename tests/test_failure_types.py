@@ -1,0 +1,73 @@
+"""Unit tests for the failure-type registry (Table III)."""
+
+import pytest
+
+from repro.core import failure_types as ft
+from repro.core.types import ComponentClass
+
+
+class TestRegistry:
+    def test_every_class_has_types(self):
+        for cls in ComponentClass:
+            assert ft.failure_types_for(cls), f"no failure types for {cls}"
+
+    def test_documented_table_iii_types_present(self):
+        # The types the paper spells out in Table III.
+        for name in [
+            "SMARTFail", "RaidPdPreErr", "Missing", "NotReady",
+            "PendingLBA", "TooMany", "DStatus", "BBTFail",
+            "HighMaxBbRate", "RaidVdNoBBUCacheErr", "DIMMCE", "DIMMUE",
+        ]:
+            assert name in ft.REGISTRY
+            assert ft.REGISTRY[name].documented
+
+    def test_component_assignment_matches_paper(self):
+        assert ft.REGISTRY["SMARTFail"].component is ComponentClass.HDD
+        assert ft.REGISTRY["BBTFail"].component is ComponentClass.FLASH_CARD
+        assert (
+            ft.REGISTRY["RaidVdNoBBUCacheErr"].component
+            is ComponentClass.RAID_CARD
+        )
+        assert ft.REGISTRY["DIMMUE"].component is ComponentClass.MEMORY
+
+    def test_fatal_vs_warning(self):
+        # "Some failures are fatal (e.g. NotReady) while others warn
+        # about potential failures (e.g. SMARTFail)."
+        assert ft.REGISTRY["NotReady"].fatal
+        assert not ft.REGISTRY["SMARTFail"].fatal
+        assert ft.REGISTRY["DIMMUE"].fatal
+        assert not ft.REGISTRY["DIMMCE"].fatal
+
+    def test_get_unknown_raises_with_name(self):
+        with pytest.raises(KeyError, match="NoSuchType"):
+            ft.get("NoSuchType")
+
+    def test_get_known(self):
+        assert ft.get("SMARTFail").name == "SMARTFail"
+
+    def test_misc_types_cover_paper_splits(self):
+        misc = {t.name for t in ft.failure_types_for(ComponentClass.MISC)}
+        assert {
+            "ManualNoDescription",
+            "ManualSuspectHDD",
+            "ManualServerCrash",
+        } <= misc
+
+    def test_names_unique(self):
+        names = [t.name for t in ft.REGISTRY.values()]
+        assert len(names) == len(set(names))
+
+
+class TestTableIII:
+    def test_rows_are_documented_only(self):
+        rows = ft.table_iii_rows()
+        assert rows
+        for name, component, explanation in rows:
+            entry = ft.REGISTRY[name]
+            assert entry.documented
+            assert entry.component.value == component
+            assert explanation
+
+    def test_row_count_matches_documented(self):
+        documented = [t for t in ft.REGISTRY.values() if t.documented]
+        assert len(ft.table_iii_rows()) == len(documented)

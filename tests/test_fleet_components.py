@@ -1,0 +1,119 @@
+"""Unit tests for hardware generations, servers and racks."""
+
+import numpy as np
+import pytest
+
+from repro.config import SpatialProfile
+from repro.core.types import ComponentClass
+from repro.fleet.component import GENERATIONS, ServerGeneration, generation
+from repro.fleet.rack import Rack, slot_occupancy_weights, slot_risk_multipliers
+from repro.fleet.server import Server
+
+
+class TestGenerations:
+    def test_five_generations(self):
+        assert len(GENERATIONS) == 5
+
+    def test_lookup(self):
+        assert generation("gen3").name == "gen3"
+        with pytest.raises(KeyError, match="gen9"):
+            generation("gen9")
+
+    def test_counts_present_for_hardware(self):
+        for gen in GENERATIONS:
+            for cls in ComponentClass.hardware():
+                assert gen.count(cls) >= 0
+            assert gen.count(ComponentClass.MISC) == 1
+
+    def test_storage_trend(self):
+        # Newer generations trade HDDs for SSDs.
+        assert GENERATIONS[0].count(ComponentClass.HDD) > GENERATIONS[-1].count(
+            ComponentClass.HDD
+        )
+        assert GENERATIONS[0].count(ComponentClass.SSD) < GENERATIONS[-1].count(
+            ComponentClass.SSD
+        )
+
+    def test_misc_count_rejected_in_spec(self):
+        with pytest.raises(ValueError, match="MISC"):
+            ServerGeneration("bad", {ComponentClass.MISC: 1}, "m", "fw")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            ServerGeneration("bad", {ComponentClass.HDD: -1}, "m", "fw")
+
+
+class TestServer:
+    def _server(self, **kw):
+        defaults = dict(
+            host_id=1, hostname="dc00-r000-s03", idc="dc00", rack_id=0,
+            position=3, pdu_id=0, product_line="pl000",
+            generation=GENERATIONS[0], deployed_at=-1000.0,
+        )
+        defaults.update(kw)
+        return Server(**defaults)
+
+    def test_age(self):
+        s = self._server(deployed_at=-100.0)
+        assert s.age_seconds(0.0) == 100.0
+        assert s.age_seconds(-200.0) == 0.0
+
+    def test_warranty(self):
+        s = self._server(deployed_at=0.0)
+        assert s.in_warranty(10.0, warranty_seconds=100.0)
+        assert not s.in_warranty(101.0, warranty_seconds=100.0)
+
+    def test_component_count_delegates(self):
+        s = self._server()
+        assert s.component_count(ComponentClass.HDD) == 12
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            self._server(position=-1)
+
+
+class TestRack:
+    def test_requires_slots(self):
+        with pytest.raises(ValueError):
+            Rack(rack_id=0, idc="dc00", n_slots=0, pdu_id=0)
+
+
+class TestSlotRisk:
+    def test_uniform(self):
+        mult = slot_risk_multipliers(SpatialProfile("uniform"), 40)
+        np.testing.assert_allclose(mult, 1.0)
+
+    def test_hotspot(self):
+        profile = SpatialProfile("hotspot", hot_slots=((22, 2.0), (35, 3.0)))
+        mult = slot_risk_multipliers(profile, 40)
+        assert mult[22] == 2.0
+        assert mult[35] == 3.0
+        assert mult[0] == 1.0
+
+    def test_hotspot_out_of_range_ignored(self):
+        profile = SpatialProfile("hotspot", hot_slots=((99, 2.0),))
+        mult = slot_risk_multipliers(profile, 40)
+        np.testing.assert_allclose(mult, 1.0)
+
+    def test_gradient(self):
+        profile = SpatialProfile("gradient", gradient_top=3.0)
+        mult = slot_risk_multipliers(profile, 40)
+        assert mult[0] == 1.0
+        assert mult[-1] == 3.0
+        assert np.all(np.diff(mult) > 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialProfile("vortex")
+
+
+class TestOccupancy:
+    def test_edges_lighter(self):
+        w = slot_occupancy_weights(40, edge_vacancy=0.5)
+        assert w[0] == 0.5 and w[1] == 0.5
+        assert w[-1] == 0.5 and w[-2] == 0.5
+        assert w[20] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_occupancy_weights(40, edge_vacancy=1.5)

@@ -1,0 +1,88 @@
+"""Lifecycle hazard shapes and their calibration targets."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import ComponentClass
+from repro.simulation.hazards import LifecycleShape, build_shapes
+
+
+class TestLifecycleShape:
+    def test_interpolation(self):
+        shape = LifecycleShape([(0, 1.0), (10, 3.0)])
+        assert shape(0) == 1.0
+        assert shape(5) == pytest.approx(2.0)
+        assert shape(10) == 3.0
+
+    def test_flat_beyond_last_breakpoint(self):
+        shape = LifecycleShape([(0, 1.0), (10, 3.0)])
+        assert shape(200) == 3.0
+
+    def test_zero_before_deployment(self):
+        shape = LifecycleShape([(0, 1.0), (10, 3.0)])
+        assert shape(-1) == 0.0
+
+    def test_vectorized(self):
+        shape = LifecycleShape([(0, 1.0), (10, 3.0)])
+        out = shape(np.array([-5, 0, 5, 10, 50]))
+        np.testing.assert_allclose(out, [0.0, 1.0, 2.0, 3.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LifecycleShape([(0, 1.0)])
+        with pytest.raises(ValueError):
+            LifecycleShape([(5, 1.0), (0, 2.0)])
+        with pytest.raises(ValueError):
+            LifecycleShape([(0, -1.0), (5, 1.0)])
+
+    def test_share_before(self):
+        shape = LifecycleShape([(0, 1.0), (9, 1.0)])
+        assert shape.share_before(5, 10) == pytest.approx(0.5)
+
+
+class TestCalibratedShapes:
+    """The shapes must encode the paper's Figure 6 observations."""
+
+    @pytest.fixture(scope="class")
+    def shapes(self):
+        return build_shapes()
+
+    def test_every_class_covered(self, shapes):
+        assert set(shapes) == set(ComponentClass)
+
+    def test_raid_infant_mortality(self, shapes):
+        # paper: 47.4 % of RAID failures within the first 6 of 50 months.
+        share = shapes[ComponentClass.RAID_CARD].share_before(6, 50)
+        assert 0.35 <= share <= 0.55
+
+    def test_hdd_infant_uplift(self, shapes):
+        # paper: months 0-3 are ~20 % above months 4-9.
+        shape = shapes[ComponentClass.HDD]
+        infant = float(np.mean(shape(np.arange(0, 3))))
+        reference = float(np.mean(shape(np.arange(3, 9))))
+        assert infant / reference == pytest.approx(1.2, abs=0.1)
+
+    def test_hdd_wear_out(self, shapes):
+        shape = shapes[ComponentClass.HDD]
+        assert shape(36) > 2 * shape(6)
+
+    def test_flash_barely_fails_in_year_one(self, shapes):
+        # paper: 1.4 % of flash failures in the first 12 months.
+        share = shapes[ComponentClass.FLASH_CARD].share_before(12, 48)
+        assert share < 0.06
+
+    def test_motherboard_fails_late(self, shapes):
+        # paper: 72.1 % of motherboard failures after month 36.
+        shape = shapes[ComponentClass.MOTHERBOARD]
+        late = 1.0 - shape.share_before(36, 60)
+        assert late > 0.55
+
+    def test_misc_deployment_spike(self, shapes):
+        # paper: miscellaneous rates extremely high in the first month.
+        shape = shapes[ComponentClass.MISC]
+        assert shape(0) > 5 * shape(2)
+
+    def test_mechanical_wear(self, shapes):
+        for cls in (ComponentClass.FAN, ComponentClass.POWER):
+            shape = shapes[cls]
+            assert shape(48) > shape(6)

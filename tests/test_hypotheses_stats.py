@@ -1,0 +1,183 @@
+"""The paper's five hypothesis tests on synthetic and crafted data."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY, HOUR
+from repro.core.types import ComponentClass, FOTCategory
+from repro.stats import hypotheses
+from repro.stats.distributions import Exponential
+from tests.test_ticket import make_ticket
+
+
+def uniform_random_dataset(rng, n=4000, horizon_days=700) -> FOTDataset:
+    """Failures spread uniformly in time: every uniformity hypothesis
+    should survive on this."""
+    times = rng.uniform(0, horizon_days * DAY, size=n)
+    return FOTDataset([
+        make_ticket(fot_id=i, error_time=float(t), host_id=i)
+        for i, t in enumerate(times)
+    ])
+
+
+def poisson_process_dataset(rng, n=4000) -> FOTDataset:
+    """Exponential TBF by construction."""
+    gaps = rng.exponential(3600.0, size=n)
+    times = np.cumsum(gaps)
+    return FOTDataset([
+        make_ticket(fot_id=i, error_time=float(t), host_id=i)
+        for i, t in enumerate(times)
+    ])
+
+
+class TestHypothesis1:
+    def test_uniform_data_not_rejected(self, rng):
+        ds = uniform_random_dataset(rng)
+        result = hypotheses.test_uniform_day_of_week(ds)
+        assert not result.reject_at(0.01)
+
+    def test_weekday_skew_rejected(self, rng):
+        times = []
+        for day in range(700):
+            n = 12 if day % 7 < 5 else 5
+            times.extend(day * DAY + rng.uniform(0, DAY, n))
+        ds = FOTDataset([
+            make_ticket(fot_id=i, error_time=float(t)) for i, t in enumerate(times)
+        ])
+        assert hypotheses.test_uniform_day_of_week(ds).reject_at(0.01)
+
+    def test_exclude_weekends(self, rng):
+        ds = uniform_random_dataset(rng)
+        result = hypotheses.test_uniform_day_of_week(ds, exclude_weekends=True)
+        assert result.df == 4  # five weekday bins
+
+    def test_on_synthetic_trace(self, small_dataset):
+        # The paper rejects Hypothesis 1 at 0.01, with and without
+        # weekends.
+        assert hypotheses.test_uniform_day_of_week(small_dataset).reject_at(0.01)
+        assert hypotheses.test_uniform_day_of_week(
+            small_dataset, exclude_weekends=True
+        ).reject_at(0.02)
+
+
+class TestHypothesis2:
+    def test_uniform_data_not_rejected(self, rng):
+        ds = uniform_random_dataset(rng)
+        assert not hypotheses.test_uniform_hour_of_day(ds).reject_at(0.01)
+
+    def test_diurnal_skew_rejected(self, rng):
+        times = []
+        for day in range(300):
+            times.extend(day * DAY + 10 * HOUR + rng.uniform(0, 8 * HOUR, 10))
+            times.extend(day * DAY + rng.uniform(0, DAY, 3))
+        ds = FOTDataset([
+            make_ticket(fot_id=i, error_time=float(t)) for i, t in enumerate(times)
+        ])
+        assert hypotheses.test_uniform_hour_of_day(ds).reject_at(0.01)
+
+    def test_on_synthetic_trace(self, small_dataset):
+        assert hypotheses.test_uniform_hour_of_day(small_dataset).reject_at(0.01)
+
+
+class TestHypothesis3:
+    def test_poisson_process_fits_exponential(self, rng):
+        ds = poisson_process_dataset(rng)
+        result = hypotheses.test_tbf_family(ds, Exponential)
+        assert not result.reject_at(0.001)
+
+    def test_all_families_returns_dict(self, rng):
+        ds = poisson_process_dataset(rng, n=1000)
+        results = hypotheses.test_tbf_all_families(ds)
+        assert set(results) <= {"exponential", "weibull", "gamma", "lognormal"}
+        assert "exponential" in results
+
+    def test_synthetic_trace_rejects_everything(self, small_dataset):
+        # The paper's headline TBF result: no family fits.
+        results = hypotheses.test_tbf_all_families(small_dataset)
+        assert results
+        assert all(r.reject_at(0.05) for r in results.values())
+
+    def test_too_few_failures_raises(self):
+        ds = FOTDataset([make_ticket()])
+        with pytest.raises(ValueError):
+            hypotheses.test_tbf_family(ds, Exponential)
+
+
+class TestHypothesis4:
+    def test_per_component_skips_small_classes(self, small_dataset):
+        results = hypotheses.test_tbf_per_component(
+            small_dataset, min_failures=200
+        )
+        assert ComponentClass.HDD in results
+        assert ComponentClass.CPU not in results  # far too few failures
+
+    def test_hdd_tbf_rejected_per_class(self, small_dataset):
+        results = hypotheses.test_tbf_per_component(small_dataset)
+        hdd = results[ComponentClass.HDD]
+        assert all(r.reject_at(0.05) for r in hdd.values())
+
+
+class TestProductLineBreakdown:
+    def test_big_lines_reject_everything(self, small_dataset):
+        results = hypotheses.test_tbf_per_product_line(
+            small_dataset, min_failures=800
+        )
+        assert results  # at least the giant batch lines qualify
+        for line_results in results.values():
+            assert all(r.reject_at(0.05) for r in line_results.values())
+
+    def test_min_failures_respected(self, small_dataset):
+        strict = hypotheses.test_tbf_per_product_line(
+            small_dataset, min_failures=10**9
+        )
+        assert strict == {}
+
+
+class TestHypothesis5:
+    def _position_dataset(self, rng, weights):
+        positions = rng.choice(len(weights), size=6000, p=np.asarray(weights) / np.sum(weights))
+        return FOTDataset([
+            make_ticket(fot_id=i, error_time=float(i), host_id=i,
+                        error_position=int(p))
+            for i, p in enumerate(positions)
+        ])
+
+    def test_uniform_positions_not_rejected(self, rng):
+        ds = self._position_dataset(rng, np.ones(40))
+        result = hypotheses.test_rack_position_uniform(ds)
+        assert not result.reject_at(0.01)
+
+    def test_hot_slot_rejected(self, rng):
+        weights = np.ones(40)
+        weights[22] = 3.0
+        ds = self._position_dataset(rng, weights)
+        assert hypotheses.test_rack_position_uniform(ds).reject_at(0.01)
+
+    def test_occupancy_normalization(self, rng):
+        # Twice the servers at even slots -> twice the failures there is
+        # NOT a positional effect once normalized.
+        occupancy = np.where(np.arange(40) % 2 == 0, 2.0, 1.0)
+        ds = self._position_dataset(rng, occupancy)
+        unnormalized = hypotheses.test_rack_position_uniform(ds)
+        normalized = hypotheses.test_rack_position_uniform(
+            ds, servers_per_position=occupancy
+        )
+        assert unnormalized.reject_at(0.01)
+        assert not normalized.reject_at(0.01)
+
+    def test_failures_at_empty_positions_rejected(self, rng):
+        ds = self._position_dataset(rng, np.ones(10))
+        occupancy = np.ones(10)
+        occupancy[3] = 0.0
+        with pytest.raises(ValueError, match="zero servers"):
+            hypotheses.test_rack_position_uniform(
+                ds, servers_per_position=occupancy
+            )
+
+    def test_short_occupancy_vector_rejected(self, rng):
+        ds = self._position_dataset(rng, np.ones(10))
+        with pytest.raises(ValueError, match="covers"):
+            hypotheses.test_rack_position_uniform(
+                ds, servers_per_position=np.ones(5)
+            )

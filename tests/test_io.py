@@ -1,0 +1,109 @@
+"""Round-trip and validation tests for dataset serialization."""
+
+import json
+
+import pytest
+
+from repro.core import io as core_io
+from repro.core.dataset import FOTDataset
+from repro.core.types import FOTCategory
+from tests.test_ticket import make_ticket
+
+
+def tickets_equal(a, b) -> bool:
+    return (
+        a.fot_id == b.fot_id
+        and a.host_id == b.host_id
+        and a.error_device == b.error_device
+        and a.error_type == b.error_type
+        and a.error_time == b.error_time
+        and a.category == b.category
+        and a.op_time == b.op_time
+        and a.operator_id == b.operator_id
+        and a.product_line == b.product_line
+    )
+
+
+class TestJSONLRoundTrip:
+    def test_round_trip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "trace.jsonl"
+        subset = tiny_dataset[:200]
+        core_io.save_jsonl(subset, path)
+        loaded = core_io.load_jsonl(path)
+        assert len(loaded) == len(subset)
+        for a, b in zip(subset, loaded):
+            assert tickets_equal(a, b)
+
+    def test_detail_preserved(self, tmp_path):
+        ds = FOTDataset([make_ticket(detail={"tag": "smart_storm:3"})])
+        path = tmp_path / "t.jsonl"
+        core_io.save_jsonl(ds, path)
+        assert core_io.load_jsonl(path)[0].detail["tag"] == "smart_storm:3"
+
+    def test_invalid_json_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        core_io.save_jsonl(FOTDataset([make_ticket()]), path)
+        path.write_text(path.read_text() + "not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            core_io.load_jsonl(path)
+
+    def test_missing_field_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"fot_id": 1}) + "\n")
+        with pytest.raises(ValueError, match="line 1"):
+            core_io.load_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path, tiny_dataset):
+        path = tmp_path / "t.jsonl"
+        core_io.save_jsonl(tiny_dataset[:3], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(core_io.load_jsonl(path)) == 3
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "trace.csv"
+        subset = tiny_dataset[:200]
+        core_io.save_csv(subset, path)
+        loaded = core_io.load_csv(path)
+        assert len(loaded) == len(subset)
+        for a, b in zip(subset, loaded):
+            assert tickets_equal(a, b)
+
+    def test_open_ticket_round_trip(self, tmp_path):
+        ds = FOTDataset([make_ticket(category=FOTCategory.ERROR)])
+        path = tmp_path / "t.csv"
+        core_io.save_csv(ds, path)
+        loaded = core_io.load_csv(path)
+        assert loaded[0].op_time is None
+        assert loaded[0].action is None
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("fot_id,host_id\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            core_io.load_csv(path)
+
+    def test_malformed_row_reports_line(self, tmp_path, tiny_dataset):
+        path = tmp_path / "t.csv"
+        core_io.save_csv(tiny_dataset[:1], path)
+        lines = path.read_text().splitlines()
+        lines.append(lines[1].replace("hdd", "warp_core", 1))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 3"):
+            core_io.load_csv(path)
+
+
+class TestDispatch:
+    def test_save_load_by_suffix(self, tmp_path, tiny_dataset):
+        subset = tiny_dataset[:10]
+        for name in ("t.jsonl", "t.csv"):
+            path = tmp_path / name
+            core_io.save(subset, path)
+            assert len(core_io.load(path)) == 10
+
+    def test_unknown_suffix_rejected(self, tmp_path, tiny_dataset):
+        with pytest.raises(ValueError, match="unsupported"):
+            core_io.save(tiny_dataset, tmp_path / "t.parquet")
+        with pytest.raises(ValueError, match="unsupported"):
+            core_io.load(tmp_path / "t.parquet")

@@ -1,0 +1,102 @@
+"""Kolmogorov-Smirnov test implementation."""
+
+import numpy as np
+import pytest
+
+from repro.stats import ks
+from repro.stats.distributions import (
+    Exponential,
+    LogNormal,
+    TBF_FAMILIES,
+    Weibull,
+)
+
+
+class TestKolmogorovSF:
+    def test_bounds(self):
+        assert ks.kolmogorov_sf(0.0) == 1.0
+        assert ks.kolmogorov_sf(10.0) == 0.0
+
+    def test_known_value(self):
+        # K-S critical value: P[K > 1.358] ~ 0.05.
+        assert ks.kolmogorov_sf(1.358) == pytest.approx(0.05, abs=0.002)
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(0.1, 3.0, 50)
+        values = [ks.kolmogorov_sf(float(x)) for x in xs]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for x in (0.5, 1.0, 1.5, 2.0):
+            assert ks.kolmogorov_sf(x) == pytest.approx(
+                float(scipy_stats.kstwobign.sf(x)), abs=1e-8
+            )
+
+
+class TestKSStatistic:
+    def test_perfect_fit_small_distance(self, rng):
+        data = rng.exponential(3.0, 4000)
+        d = ks.ks_statistic(data, Exponential.fit(data))
+        assert d < 0.03
+
+    def test_bad_fit_large_distance(self, rng):
+        data = rng.exponential(3.0, 4000)
+        d = ks.ks_statistic(data, Exponential(10.0))
+        assert d > 0.3
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            ks.ks_statistic([1.0], Exponential(1.0))
+
+    def test_matches_scipy(self, rng):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        data = rng.exponential(2.0, 500)
+        dist = Exponential.fit(data)
+        ours = ks.ks_statistic(data, dist)
+        theirs = scipy_stats.kstest(data, lambda x: dist.cdf(x)).statistic
+        assert ours == pytest.approx(float(theirs), abs=1e-10)
+
+
+class TestKSTest:
+    def test_correct_family_not_rejected(self, rng):
+        data = rng.weibull(1.5, 3000) * 4.0
+        result = ks.ks_test(data, Weibull.fit(data))
+        assert not result.reject_at(0.001)
+
+    def test_wrong_family_rejected(self, rng):
+        data = np.concatenate([
+            rng.normal(1.0, 0.02, 2000).clip(0.001),
+            rng.normal(50.0, 0.5, 2000),
+        ])
+        result = ks.ks_test(data, Exponential.fit(data))
+        assert result.reject_at(0.001)
+
+    def test_alpha_validated(self, rng):
+        data = rng.exponential(1.0, 100)
+        result = ks.ks_test(data, Exponential.fit(data))
+        with pytest.raises(ValueError):
+            result.reject_at(2.0)
+
+
+class TestFamilySweep:
+    def test_all_families_scored(self, rng):
+        data = rng.gamma(2.0, 3.0, 2000)
+        results = ks.ks_all_families(data, TBF_FAMILIES)
+        assert set(results) == {f.name for f in TBF_FAMILIES}
+
+    def test_best_fit_recovers_generator(self, rng):
+        data = rng.lognormal(1.0, 0.8, 5000)
+        assert ks.best_fit(data, TBF_FAMILIES) == "lognormal"
+
+    def test_best_fit_none_on_degenerate(self):
+        assert ks.best_fit(np.full(50, 2.0), (Weibull, LogNormal)) is None
+
+    def test_on_synthetic_tbf(self, small_dataset):
+        # The paper's Fig 5: everything is rejected, but the ordering
+        # still identifies a "least wrong" family.
+        from repro.analysis.tbf import tbf_values
+        gaps = tbf_values(small_dataset)
+        results = ks.ks_all_families(gaps, TBF_FAMILIES)
+        assert all(r.reject_at(0.05) for r in results.values())
+        assert ks.best_fit(gaps, TBF_FAMILIES) in results

@@ -1,0 +1,167 @@
+"""Operator response model and repair effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro.config import FleetConfig
+from repro.core.timeutil import DAY
+from repro.core.types import ComponentClass
+from repro.fleet.builder import build_fleet
+from repro.fms.operators import OperatorModel
+from repro.fms.repair import RepairModel
+from repro.simulation import calibration
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_fleet(
+        FleetConfig(n_datacenters=4, servers_per_dc=400, n_product_lines=40),
+        np.random.default_rng(23),
+    )
+
+
+@pytest.fixture()
+def operators(fleet, rng):
+    return OperatorModel(fleet, rng)
+
+
+def median_rt(operators, component, line, n=400, age=2 * 365 * DAY,
+              lemon=False):
+    rts = [
+        operators.close_fixing(component, line, 1000.0, age, lemon)[0] - 1000.0
+        for _ in range(n)
+    ]
+    return float(np.median(rts))
+
+
+class TestCloseFixing:
+    def test_op_time_after_error_time(self, operators, fleet):
+        line = fleet.line_names[0]
+        for _ in range(50):
+            op_time, op_id = operators.close_fixing(
+                ComponentClass.HDD, line, 1000.0, 1e7, False
+            )
+            assert op_time >= 1000.0
+            assert op_id.startswith("op-")
+
+    def test_ssd_faster_than_hdd(self, operators, fleet):
+        # Fig 10: SSD medians are hours, HDD days.  Compare on a line
+        # with continuous attention so pool-review batching (which
+        # quantizes both classes to the same epochs) doesn't mask the
+        # class effect.
+        line = min(
+            fleet.line_names,
+            key=lambda name: operators.review_interval_seconds(name),
+        )
+        assert median_rt(operators, ComponentClass.SSD, line) < median_rt(
+            operators, ComponentClass.HDD, line
+        )
+
+    def test_fault_tolerant_lines_slower(self, operators, fleet):
+        lines = sorted(
+            fleet.product_lines.values(), key=lambda pl: pl.fault_tolerance
+        )
+        fast_line, slow_line = lines[0], lines[-1]
+        fast = median_rt(operators, ComponentClass.HDD, fast_line.name)
+        slow = median_rt(operators, ComponentClass.HDD, slow_line.name)
+        assert slow > fast
+
+    def test_lemon_closed_within_hours(self, operators, fleet):
+        line = fleet.line_names[0]
+        med = median_rt(operators, ComponentClass.RAID_CARD, line, lemon=True)
+        assert med < 1 * DAY
+
+    def test_deployment_phase_misc_fast(self, operators, fleet):
+        line = fleet.line_names[0]
+        young = median_rt(operators, ComponentClass.MISC, line, age=5 * DAY)
+        old = median_rt(operators, ComponentClass.MISC, line, age=400 * DAY)
+        assert young < old
+
+    def test_unknown_line_defaults(self, operators):
+        op_time, op_id = operators.close_fixing(
+            ComponentClass.HDD, "no-such-line", 0.0, 1e7, False
+        )
+        assert op_time >= 0.0
+        assert op_id == "op-unknown"
+
+
+class TestBatching:
+    def test_review_epochs_quantize_close_times(self, fleet, rng):
+        operators = OperatorModel(fleet, rng)
+        # Find a line with a long review interval.
+        line = max(
+            fleet.line_names,
+            key=lambda name: operators.review_interval_seconds(name),
+        )
+        interval = operators.review_interval_seconds(line)
+        assert interval > 0
+        closes = [
+            operators.close_fixing(ComponentClass.HDD, line, 0.0, 1e7, False)[0]
+            for _ in range(300)
+        ]
+        # A meaningful share of close times sit exactly on epochs
+        # (modulo the interval, same phase).
+        phases = np.array(closes) % interval
+        counts = np.unique(phases.round(3), return_counts=True)[1]
+        assert counts.max() > 30
+
+    def test_top_lines_have_long_reviews(self, fleet, rng):
+        operators = OperatorModel(fleet, rng)
+        biggest = max(
+            fleet.product_lines.values(), key=lambda pl: pl.expected_servers
+        )
+        lo, hi = calibration.TOP_LINE_REVIEW_DAYS
+        interval_days = operators.review_interval_seconds(biggest.name) / DAY
+        assert lo <= interval_days <= hi
+
+
+class TestFalseAlarm:
+    def test_median_matches_calibration(self, operators, fleet):
+        line = fleet.line_names[0]
+        rts = np.array([
+            operators.close_false_alarm(line, 0.0)[0] for _ in range(3000)
+        ])
+        med_days = float(np.median(rts)) / DAY
+        assert med_days == pytest.approx(
+            calibration.FALSE_ALARM_RT_MEDIAN_DAYS, rel=0.25
+        )
+
+
+class TestRepairModel:
+    def test_normal_repeat_rate(self, rng):
+        repair = RepairModel(rng)
+        repeats = sum(
+            repair.repeat_delay(False, 0) is not None for _ in range(20_000)
+        )
+        assert repeats / 20_000 == pytest.approx(
+            calibration.REPEAT_PROB_NORMAL, rel=0.2
+        )
+
+    def test_lemon_repeats_almost_always(self, rng):
+        repair = RepairModel(rng)
+        repeats = sum(
+            repair.repeat_delay(True, 1) is not None for _ in range(2000)
+        )
+        assert repeats / 2000 > 0.85
+
+    def test_chain_caps(self, rng):
+        repair = RepairModel(rng)
+        assert repair.repeat_delay(False, calibration.MAX_CHAIN_NORMAL) is None
+        assert repair.repeat_delay(True, calibration.MAX_CHAIN_LEMON) is None
+
+    def test_delays_positive_and_lemon_fast(self, rng):
+        repair = RepairModel(rng)
+        normal = [repair.repeat_delay(False, 1) for _ in range(4000)]
+        lemon = [repair.repeat_delay(True, 1) for _ in range(4000)]
+        normal = [d for d in normal if d is not None]
+        lemon = [d for d in lemon if d is not None]
+        assert all(d > 0 for d in normal + lemon)
+        assert np.median(lemon) < np.median(normal)
+
+    def test_negative_chain_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RepairModel(rng).repeat_delay(False, -1)
+
+    def test_expected_repeats_sane(self, rng):
+        repair = RepairModel(rng)
+        assert repair.expected_repeats(True) > repair.expected_repeats(False)

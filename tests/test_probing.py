@@ -1,0 +1,84 @@
+"""Active failure probing vs. log-based detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeutil import DAY, HOUR
+from repro.fms import probing
+
+
+class TestLogDetection:
+    def test_detection_after_onset(self, rng):
+        onsets = rng.uniform(0, 10 * DAY, 200)
+        detections = probing.sample_log_detection(onsets, 24.0, rng)
+        assert np.all(detections > onsets)
+
+    def test_colder_components_detected_later(self, rng):
+        onsets = rng.uniform(0, 10 * DAY, 400)
+        hot = probing.sample_log_detection(onsets, 96.0, np.random.default_rng(1))
+        cold = probing.sample_log_detection(onsets, 2.0, np.random.default_rng(1))
+        assert (cold - onsets).mean() > 5 * (hot - onsets).mean()
+
+    def test_mean_latency_matches_rate(self, rng):
+        # With ~24 uses/day the mean first-use wait is ~1 hour.
+        onsets = rng.uniform(0, 30 * DAY, 2000)
+        detections = probing.sample_log_detection(onsets, 24.0, rng)
+        mean_hours = (detections - onsets).mean() / HOUR
+        assert 0.5 <= mean_hours <= 2.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            probing.sample_log_detection(np.array([0.0]), 0.0, rng)
+
+
+class TestProbeDetection:
+    def test_latency_bounded_by_period(self, rng):
+        onsets = rng.uniform(0, 10 * DAY, 500)
+        detections = probing.sample_probe_detection(onsets, 4.0, rng)
+        latencies = detections - onsets
+        assert np.all(latencies >= 0)
+        assert np.all(latencies <= 4 * HOUR + 1e-6)
+
+    def test_mean_latency_half_period(self, rng):
+        onsets = rng.uniform(0, 30 * DAY, 4000)
+        detections = probing.sample_probe_detection(onsets, 4.0, rng)
+        mean = (detections - onsets).mean()
+        assert mean == pytest.approx(2 * HOUR, rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            probing.sample_probe_detection(np.array([0.0]), -1.0, rng)
+
+
+class TestPeakShare:
+    def test_uniform_detections_near_third(self, rng):
+        detections = rng.uniform(0, 100 * DAY, 20_000)
+        share = probing.peak_share(detections, top_hours=8)
+        assert share == pytest.approx(8 / 24, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probing.peak_share(np.array([0.0]), top_hours=0)
+
+
+class TestComparison:
+    def test_probing_cuts_tail_latency_for_cold_components(self):
+        result = probing.compare_detection(
+            1500, uses_per_day=2.0, probe_period_hours=4.0,
+            rng=np.random.default_rng(7),
+        )
+        # The paper's motivation: the prober bounds the worst case.
+        assert result.probe_p99_latency_hours < result.log_p99_latency_hours
+        assert result.probe_mean_latency_hours < result.log_mean_latency_hours
+
+    def test_probing_detects_off_peak(self):
+        result = probing.compare_detection(
+            3000, uses_per_day=24.0, rng=np.random.default_rng(8)
+        )
+        # Probe detections are phase-uniform; log-based ones track load.
+        assert result.probe_peak_share == pytest.approx(8 / 24, abs=0.05)
+        assert result.log_peak_share >= result.probe_peak_share - 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probing.compare_detection(5)

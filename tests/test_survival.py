@@ -1,0 +1,127 @@
+"""Survival analysis: Kaplan-Meier and AFR."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import survival
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import MONTH, YEAR
+from repro.core.types import ComponentClass
+from repro.fleet.inventory import Inventory
+from tests.test_ticket import make_ticket
+
+
+def toy_inventory(n_servers=10, hdd_per_server=2, deployed_at=0.0):
+    return Inventory(
+        host_ids=list(range(n_servers)),
+        idcs=["dc00"] * n_servers,
+        positions=[i % 5 for i in range(n_servers)],
+        deployed_ats=[deployed_at] * n_servers,
+        product_lines=["a"] * n_servers,
+        component_counts={ComponentClass.HDD: [hdd_per_server] * n_servers},
+    )
+
+
+class TestKaplanMeier:
+    def test_monotone_decreasing_in_unit_interval(self, small_trace):
+        curve = survival.kaplan_meier(
+            small_trace.dataset, small_trace.inventory, ComponentClass.HDD
+        )
+        assert np.all(np.diff(curve.survival) <= 1e-12)
+        assert np.all((curve.survival >= 0) & (curve.survival <= 1))
+        assert curve.n_failures > 0
+        assert curve.n_components > curve.n_failures
+
+    def test_toy_case_exact(self):
+        # 10 servers x 2 drives = 20 components, 2 first-failures.
+        inv = toy_inventory()
+        tickets = [
+            make_ticket(fot_id=0, host_id=0, device_slot=0,
+                        error_time=6 * MONTH, deployed_at=0.0),
+            make_ticket(fot_id=1, host_id=1, device_slot=1,
+                        error_time=12 * MONTH, deployed_at=0.0),
+        ]
+        curve = survival.kaplan_meier(
+            FOTDataset(tickets), inv, ComponentClass.HDD,
+            window_end=24 * MONTH,
+        )
+        # S(6mo) = 1 - 1/20; S(12mo) = (19/20)(1 - 1/19) = 18/20.
+        assert curve.probability_beyond(6) == pytest.approx(19 / 20)
+        assert curve.probability_beyond(12) == pytest.approx(18 / 20)
+        assert curve.probability_beyond(1) == 1.0
+
+    def test_probability_before_first_event_is_one(self, small_trace):
+        curve = survival.kaplan_meier(
+            small_trace.dataset, small_trace.inventory, ComponentClass.HDD
+        )
+        assert curve.probability_beyond(0.0) <= 1.0
+        assert curve.probability_beyond(-1.0) == 1.0
+
+    def test_median_lifetime_none_for_reliable_fleet(self, small_trace):
+        curve = survival.kaplan_meier(
+            small_trace.dataset, small_trace.inventory, ComponentClass.HDD
+        )
+        # Hardware does not lose half its population in four years.
+        assert curve.median_lifetime_months() is None
+
+    def test_no_failures_raises(self):
+        inv = toy_inventory()
+        with pytest.raises(ValueError):
+            survival.kaplan_meier(
+                FOTDataset([]), inv, ComponentClass.HDD, window_end=YEAR
+            )
+
+    def test_repeats_do_not_double_count(self):
+        inv = toy_inventory()
+        tickets = [
+            make_ticket(fot_id=i, host_id=0, device_slot=0,
+                        error_time=(6 + i) * MONTH, deployed_at=0.0)
+            for i in range(5)
+        ]
+        curve = survival.kaplan_meier(
+            FOTDataset(tickets), inv, ComponentClass.HDD,
+            window_end=24 * MONTH,
+        )
+        assert curve.n_failures == 1  # only the first failure counts
+
+
+class TestAFR:
+    def test_toy_exact(self):
+        inv = toy_inventory(n_servers=10, hdd_per_server=1)
+        # 2 failures in service-year 0 over ~10 component-years.
+        tickets = [
+            make_ticket(fot_id=0, host_id=0, error_time=0.5 * YEAR,
+                        deployed_at=0.0),
+            make_ticket(fot_id=1, host_id=1, error_time=0.6 * YEAR,
+                        deployed_at=0.0),
+        ]
+        table = survival.annualized_failure_rates(
+            FOTDataset(tickets), inv, ComponentClass.HDD,
+            n_years=2, window=(0.0, 2 * YEAR),
+        )
+        assert table.failures[0] == 2
+        assert table.exposure_years[0] == pytest.approx(10.0, rel=0.05)
+        assert table.afr[0] == pytest.approx(0.2, rel=0.06)
+
+    def test_wear_out_visible(self, small_trace):
+        table = survival.annualized_failure_rates(
+            small_trace.dataset, small_trace.inventory, ComponentClass.HDD
+        )
+        # Fig 6: HDD failure rates increase with age.
+        assert table.afr[3] > table.afr[0]
+
+    def test_overall_in_industry_range(self, small_trace):
+        table = survival.annualized_failure_rates(
+            small_trace.dataset, small_trace.inventory, ComponentClass.HDD
+        )
+        # Disk AFRs in the field studies run ~1-10 %.
+        assert 0.005 < table.overall() < 0.2
+
+    def test_no_failures_raises(self, small_trace):
+        empty = small_trace.dataset.where(
+            np.zeros(len(small_trace.dataset), dtype=bool)
+        )
+        with pytest.raises(ValueError):
+            survival.annualized_failure_rates(
+                empty, small_trace.inventory, ComponentClass.HDD
+            )

@@ -1,0 +1,87 @@
+"""Unit tests for the FOT record."""
+
+import pytest
+
+from repro.core.ticket import FOT
+from repro.core.types import (
+    ComponentClass,
+    DetectionSource,
+    FOTCategory,
+    OperatorAction,
+)
+
+
+def make_ticket(**overrides) -> FOT:
+    defaults = dict(
+        fot_id=1,
+        host_id=7,
+        hostname="dc00-r001-s05",
+        host_idc="dc00",
+        error_device=ComponentClass.HDD,
+        error_type="SMARTFail",
+        error_time=1000.0,
+        error_position=5,
+        error_detail="sda1",
+        category=FOTCategory.FIXING,
+        source=DetectionSource.SYSLOG,
+        product_line="pl000",
+        deployed_at=-100.0,
+    )
+    defaults.update(overrides)
+    return FOT(**defaults)
+
+
+class TestValidation:
+    def test_negative_error_time_rejected(self):
+        with pytest.raises(ValueError, match="error_time"):
+            make_ticket(error_time=-1.0)
+
+    def test_op_before_error_rejected(self):
+        with pytest.raises(ValueError, match="op_time"):
+            make_ticket(op_time=500.0)
+
+    def test_op_equal_error_allowed(self):
+        ticket = make_ticket(op_time=1000.0)
+        assert ticket.response_time == 0.0
+
+
+class TestProperties:
+    def test_is_failure(self):
+        assert make_ticket(category=FOTCategory.FIXING).is_failure
+        assert make_ticket(category=FOTCategory.ERROR).is_failure
+        assert not make_ticket(category=FOTCategory.FALSE_ALARM).is_failure
+
+    def test_response_time(self):
+        assert make_ticket().response_time is None
+        assert make_ticket(op_time=1000.0 + 86400.0).response_time == 86400.0
+
+    def test_component_key_distinguishes_slots(self):
+        a = make_ticket(device_slot=0)
+        b = make_ticket(device_slot=1)
+        assert a.component_key != b.component_key
+        assert a.component_key == (7, ComponentClass.HDD, 0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_ticket().error_time = 5.0  # type: ignore[misc]
+
+
+class TestClose:
+    def test_close_sets_fields_and_category(self):
+        open_ticket = make_ticket()
+        closed = open_ticket.close(
+            OperatorAction.MARK_FALSE_ALARM, "op-x", 2000.0
+        )
+        assert closed.op_time == 2000.0
+        assert closed.operator_id == "op-x"
+        assert closed.category is FOTCategory.FALSE_ALARM
+        assert closed.response_time == 1000.0
+        # Original is untouched (frozen copies).
+        assert open_ticket.op_time is None
+
+    def test_close_repair_order(self):
+        closed = make_ticket(category=FOTCategory.ERROR).close(
+            OperatorAction.REPAIR_ORDER, "op-y", 3000.0
+        )
+        assert closed.category is FOTCategory.FIXING
+        assert closed.action is OperatorAction.REPAIR_ORDER

@@ -1,0 +1,94 @@
+"""Unit tests for the time helpers."""
+
+import numpy as np
+import pytest
+from datetime import datetime
+
+from repro.core import timeutil as tu
+
+
+class TestConversions:
+    def test_epoch_round_trip(self):
+        assert tu.to_datetime(0.0) == tu.TRACE_EPOCH
+        assert tu.from_datetime(tu.TRACE_EPOCH) == 0.0
+
+    def test_round_trip_arbitrary(self):
+        dt = datetime(2015, 6, 3, 14, 30, 12)
+        assert tu.to_datetime(tu.from_datetime(dt)) == dt
+
+    def test_epoch_is_a_tuesday(self):
+        # 2013-01-01 — day_of_week must agree with datetime.weekday.
+        assert tu.day_of_week(0.0) == tu.TRACE_EPOCH.weekday() == 1
+
+
+class TestFacets:
+    def test_day_index(self):
+        assert tu.day_index(0.0) == 0
+        assert tu.day_index(tu.DAY - 1) == 0
+        assert tu.day_index(tu.DAY) == 1
+
+    def test_hour_of_day(self):
+        assert tu.hour_of_day(0.0) == 0
+        assert tu.hour_of_day(13 * tu.HOUR + 59) == 13
+        assert tu.hour_of_day(2 * tu.DAY + 23 * tu.HOUR) == 23
+
+    def test_day_of_week_cycles(self):
+        dows = tu.day_of_week(np.arange(14) * tu.DAY)
+        assert list(dows[:7]) == list(dows[7:])
+        assert set(dows) == set(range(7))
+
+    def test_day_of_week_matches_datetime(self):
+        for day in [0, 1, 5, 100, 1410]:
+            ts = day * tu.DAY + 3600.0
+            assert tu.day_of_week(ts) == tu.to_datetime(ts).weekday()
+
+    def test_is_weekend(self):
+        # Epoch is Tuesday; Saturday is 4 days later.
+        assert not tu.is_weekend(0.0)
+        assert tu.is_weekend(4 * tu.DAY)
+        assert tu.is_weekend(5 * tu.DAY)
+        assert not tu.is_weekend(6 * tu.DAY)
+
+    def test_arrays_accepted(self):
+        hours = tu.hour_of_day(np.array([0.0, tu.HOUR, 25 * tu.HOUR]))
+        assert list(hours) == [0, 1, 1]
+
+
+class TestMonthOfService:
+    def test_basic(self):
+        assert tu.month_of_service(0.0, 0.0) == 0
+        assert tu.month_of_service(tu.MONTH, 0.0) == 1
+        assert tu.month_of_service(3.5 * tu.MONTH, 0.0) == 3
+
+    def test_negative_deploy(self):
+        # Server deployed a year before the trace epoch.
+        assert tu.month_of_service(0.0, -12 * tu.MONTH) == 12
+
+    def test_failure_before_deploy_clamps_to_zero(self):
+        assert tu.month_of_service(5.0, 100 * tu.DAY) == 0
+
+    def test_vectorized(self):
+        months = tu.month_of_service(
+            np.array([0.0, tu.MONTH, 2 * tu.MONTH]), np.zeros(3)
+        )
+        assert list(months) == [0, 1, 2]
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (30.0, "30.0 s"),
+            (90.0, "1.5 min"),
+            (2 * 3600.0, "2.0 h"),
+            (7 * 86400.0, "7.0 days"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert tu.format_duration(seconds) == expected
+
+
+def test_paper_trace_days_constant():
+    # Table V: 35 out of 1,411 days — D = 1411.
+    assert tu.PAPER_TRACE_DAYS == 1411
+    assert tu.PAPER_TRACE_SECONDS == 1411 * 86400

@@ -1,0 +1,179 @@
+"""End-to-end trace generation: integration invariants."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig, paper_scenario
+from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+from repro.simulation.trace import generate_paper_trace, generate_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(paper_scenario(scale=0.01, seed=99))
+        b = generate_trace(paper_scenario(scale=0.01, seed=99))
+        assert len(a.dataset) == len(b.dataset)
+        np.testing.assert_array_equal(a.dataset.error_times, b.dataset.error_times)
+        np.testing.assert_array_equal(a.dataset.host_ids, b.dataset.host_ids)
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(paper_scenario(scale=0.01, seed=99))
+        b = generate_trace(paper_scenario(scale=0.01, seed=100))
+        assert len(a.dataset) != len(b.dataset) or not np.array_equal(
+            a.dataset.error_times, b.dataset.error_times
+        )
+
+
+class TestStructure:
+    def test_volume_near_target(self, tiny_trace):
+        target = tiny_trace.config.scaled_target_failures
+        assert 0.6 * target <= len(tiny_trace.dataset) <= 1.8 * target
+
+    def test_every_host_exists_in_fleet(self, tiny_trace):
+        fleet_hosts = set(int(h) for h in tiny_trace.fleet.host_ids)
+        assert set(int(h) for h in tiny_trace.dataset.host_ids) <= fleet_hosts
+
+    def test_ticket_ids_unique_and_ordered(self, tiny_trace):
+        ids = [t.fot_id for t in tiny_trace.dataset]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_times_within_horizon(self, tiny_trace):
+        times = tiny_trace.dataset.error_times
+        assert times.min() >= 0
+        assert times.max() < tiny_trace.horizon_seconds
+
+    def test_metadata_consistent_with_fleet(self, tiny_trace):
+        servers = {s.host_id: s for s in tiny_trace.fleet.servers}
+        for ticket in list(tiny_trace.dataset)[::50]:
+            server = servers[ticket.host_id]
+            assert ticket.hostname == server.hostname
+            assert ticket.host_idc == server.idc
+            assert ticket.error_position == server.position
+            assert ticket.product_line == server.product_line
+            assert ticket.deployed_at == server.deployed_at
+
+    def test_inventory_covers_fleet(self, tiny_trace):
+        assert len(tiny_trace.inventory) == len(tiny_trace.fleet)
+
+    def test_storm_and_injection_ground_truth_present(self, small_trace):
+        assert small_trace.storms
+        kinds = {r.kind for r in small_trace.storms}
+        assert "pdu_outage" in kinds
+        inj_kinds = {r.kind for r in small_trace.injections}
+        assert "bbu_flapping" in inj_kinds
+        assert "synchronous_group" in inj_kinds
+        assert "correlated_pair" in inj_kinds
+
+    def test_fms_stats_populated(self, tiny_trace):
+        stats = tiny_trace.fms_stats
+        assert stats["events_in"] >= len(tiny_trace.dataset)
+        assert stats["repairs"] > 0
+
+
+class TestContent:
+    def test_all_categories_present(self, small_dataset):
+        cats = {t.category for t in small_dataset}
+        assert cats == set(FOTCategory)
+
+    def test_all_major_components_present(self, small_dataset):
+        classes = {t.error_device for t in small_dataset}
+        assert ComponentClass.HDD in classes
+        assert ComponentClass.MISC in classes
+        assert ComponentClass.MEMORY in classes
+
+    def test_sources_match_component(self, small_dataset):
+        for ticket in list(small_dataset)[::101]:
+            if ticket.error_device is ComponentClass.MISC:
+                assert ticket.source is DetectionSource.MANUAL
+            else:
+                assert ticket.source.is_automatic
+
+    def test_error_types_belong_to_class(self, small_dataset):
+        from repro.core.failure_types import REGISTRY
+        for ticket in list(small_dataset)[::101]:
+            entry = REGISTRY[ticket.error_type]
+            assert entry.component is ticket.error_device
+
+    def test_error_tickets_have_no_response(self, small_dataset):
+        errors = small_dataset.of_category(FOTCategory.ERROR)
+        assert all(t.op_time is None for t in errors)
+
+    def test_closed_tickets_have_response(self, small_dataset):
+        fixing = small_dataset.of_category(FOTCategory.FIXING)
+        assert all(t.op_time is not None for t in fixing)
+        assert all(t.op_time >= t.error_time for t in fixing)
+
+
+class TestScaling:
+    def test_scaled_fleet_shrinks(self):
+        cfg = paper_scenario(scale=0.05)
+        fleet = cfg.scaled_fleet()
+        assert fleet.servers_per_dc < cfg.fleet.servers_per_dc
+
+    def test_tiny_scale_keeps_minimum_dcs(self):
+        cfg = paper_scenario(scale=0.01)
+        assert cfg.scaled_fleet().n_datacenters >= 6
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(scale=1.5)
+
+    def test_generate_paper_trace_wrapper(self):
+        trace = generate_paper_trace(scale=0.01, seed=5)
+        assert len(trace.dataset) > 500
+
+
+class TestMonitoringRollout:
+    """The Section VII-C limitation: FMS coverage ramps over time."""
+
+    def _trace(self, rollout_years, seed=4242):
+        from dataclasses import replace
+        cfg = paper_scenario(scale=0.02, seed=seed)
+        return generate_trace(
+            replace(cfg, monitoring_rollout_years=rollout_years,
+                    monitoring_initial_coverage=0.3)
+        )
+
+    def test_rollout_loses_early_automatic_tickets(self):
+        full = self._trace(0.0)
+        ramped = self._trace(2.0)
+        assert len(ramped.dataset) < len(full.dataset)
+
+    def test_loss_concentrates_early(self):
+        from repro.core.timeutil import YEAR
+        full = self._trace(0.0)
+        ramped = self._trace(2.0)
+
+        def year_counts(trace):
+            times = trace.dataset.error_times
+            return (
+                int((times < YEAR).sum()),
+                int((times >= 2.5 * YEAR).sum()),
+            )
+
+        full_early, full_late = year_counts(full)
+        ramp_early, ramp_late = year_counts(ramped)
+        early_keep = ramp_early / max(full_early, 1)
+        late_keep = ramp_late / max(full_late, 1)
+        assert early_keep < late_keep
+
+    def test_manual_reports_survive(self):
+        from repro.core.timeutil import YEAR
+        ramped = self._trace(3.0)
+        early = ramped.dataset.between(0.0, 0.5 * YEAR)
+        misc = [t for t in early
+                if t.error_device is ComponentClass.MISC]
+        # Humans file tickets regardless of agent coverage.
+        assert misc
+
+    def test_config_validation(self):
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(paper_scenario(), monitoring_rollout_years=-1.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                paper_scenario(), monitoring_initial_coverage=1.5
+            )

@@ -1,0 +1,48 @@
+"""Trace self-validation against paper targets."""
+
+import pytest
+
+from repro.simulation.validation import Check, failed_checks, validate_trace
+
+
+class TestCheck:
+    def test_ok_within_tolerance(self):
+        assert Check("x", 1.0, 1.05, 0.1).ok
+        assert not Check("x", 1.0, 1.5, 0.1).ok
+
+    def test_zero_target_handled(self):
+        assert Check("x", 0.0, 0.0, 0.1).ok
+        assert not Check("x", 0.0, 1.0, 0.1).ok
+
+    def test_str_contains_verdict(self):
+        assert "ok" in str(Check("m", 1.0, 1.0, 0.1))
+        assert "OFF" in str(Check("m", 1.0, 9.0, 0.1))
+
+
+class TestValidateTrace:
+    def test_covers_every_dimension(self, small_trace):
+        checks = validate_trace(small_trace, slack=3.0)
+        names = {c.name.split(".")[0] for c in checks}
+        assert {"table1", "table2", "fig5", "repeats", "table5",
+                "table6", "fig9"} <= names
+
+    def test_small_trace_mostly_passes(self, small_trace):
+        checks = validate_trace(small_trace, slack=3.0)
+        failed = failed_checks(checks)
+        # A calibrated generator should pass nearly everything even on
+        # a small trace with generous slack.
+        assert len(failed) <= 2, [str(c) for c in failed]
+
+    def test_hard_checks_pass(self, small_trace):
+        checks = {c.name: c for c in validate_trace(small_trace, slack=2.0)}
+        assert checks["fig5.all_families_rejected"].ok
+        assert checks["table2.hdd_share"].ok
+
+    def test_slack_validated(self, small_trace):
+        with pytest.raises(ValueError):
+            validate_trace(small_trace, slack=0.0)
+
+    def test_slack_widens(self, small_trace):
+        tight = validate_trace(small_trace, slack=0.05)
+        loose = validate_trace(small_trace, slack=10.0)
+        assert len(failed_checks(loose)) <= len(failed_checks(tight))
