@@ -6,7 +6,6 @@ With both ablated, daily counts become near-Poisson: r_N collapses and
 the TBF looks far more exponential.
 """
 
-import numpy as np
 
 from benchmarks._shared import comparison, override_calibration, pct
 from repro.analysis import batch, tbf

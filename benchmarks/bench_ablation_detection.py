@@ -5,7 +5,6 @@ firing when components get used.  Decoupling detection from workload
 flattens the hour profile for the workload-coupled classes.
 """
 
-import numpy as np
 
 from benchmarks._shared import comparison, override_calibration
 from repro.analysis import temporal

@@ -5,7 +5,6 @@ few servers.  With frailty ablated (sigma -> 0) the concentration curve
 collapses toward uniform and Figure 7 cannot be reproduced.
 """
 
-import pytest
 
 from benchmarks._shared import comparison, override_calibration, pct
 from repro.analysis import concentration

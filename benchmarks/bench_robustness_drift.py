@@ -1,0 +1,38 @@
+"""Robustness — headline-statistic drift under ticket corruption.
+
+Sweeps the chaos harness's corruption kinds × intensities over the
+shared trace, re-ingests each corrupted dump through the quarantining
+loader, and records how far Table I's D_fixing share, Table II's HDD
+share, the MTBF and Figure 9's median RT drift from the clean baseline.
+"""
+
+from benchmarks._shared import BENCH_SEED, emit
+from repro.robustness.chaos import CORRUPTION_KINDS, CorruptionSpec, corrupt_dataset
+from repro.robustness.drift import robustness_sweep
+
+INTENSITIES = (0.05, 0.2)
+
+
+def test_robustness_drift(benchmark, dataset):
+    # Time one representative corrupt-and-reingest cell...
+    benchmark(
+        corrupt_dataset, dataset, [CorruptionSpec("duplicates", 0.05)], BENCH_SEED
+    )
+    # ...and run the full sweep once for the archived drift table.
+    table = robustness_sweep(
+        dataset,
+        kinds=CORRUPTION_KINDS,
+        intensities=INTENSITIES,
+        seed=BENCH_SEED,
+    )
+    emit("robustness_drift", table.format())
+
+    assert len(table.runs) == len(CORRUPTION_KINDS) * len(INTENSITIES)
+    # Dirt must move the statistics: mislabeling skews Table I, and
+    # duplicate re-opens compress the time between failures.
+    mislabel = table.worst_drift("fixing_share")
+    assert mislabel is not None and mislabel.kind == "mislabel_category"
+    duplicates = [
+        c for c in table.cells if c.kind == "duplicates" and c.stat == "mtbf_minutes"
+    ]
+    assert any(c.corrupted_value < c.clean_value for c in duplicates)

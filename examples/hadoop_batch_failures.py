@@ -17,7 +17,6 @@ Run:
     python examples/hadoop_batch_failures.py
 """
 
-import numpy as np
 
 from repro import ComponentClass, generate_paper_trace
 from repro.analysis import batch, report

@@ -18,7 +18,7 @@ Run:
 
 import numpy as np
 
-from repro import ComponentClass, FOTCategory, generate_paper_trace
+from repro import FOTCategory, generate_paper_trace
 from repro.analysis import report, response
 
 

@@ -22,10 +22,9 @@ from operator-facing tooling.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.dataset import FOTDataset
 from repro.core.ticket import FOT

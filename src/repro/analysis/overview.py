@@ -8,6 +8,7 @@ from typing import Dict, List, Tuple
 from repro.core.dataset import FOTDataset
 from repro.core.failure_types import table_iii_rows
 from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+from repro.robustness.quality import InsufficientDataError
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,7 @@ def category_breakdown(dataset: FOTDataset) -> CategoryBreakdown:
     paper: 70.3 % / 28.0 % / 1.7 %.
     """
     if len(dataset) == 0:
-        raise ValueError("empty dataset")
+        raise InsufficientDataError("empty dataset")
     counts = {cat: len(sub) for cat, sub in dataset.by_category().items()}
     total = len(dataset)
     for cat in FOTCategory:
@@ -45,7 +46,7 @@ def component_breakdown(dataset: FOTDataset) -> Dict[ComponentClass, float]:
     """
     failures = dataset.failures()
     if len(failures) == 0:
-        raise ValueError("no failures in dataset")
+        raise InsufficientDataError("no failures in dataset")
     shares = {
         cls: len(sub) / len(failures)
         for cls, sub in failures.by_component().items()
@@ -60,7 +61,7 @@ def failure_type_breakdown(
     failures only, sorted descending."""
     subset = dataset.failures().of_component(component)
     if len(subset) == 0:
-        raise ValueError(f"no failures for component {component}")
+        raise InsufficientDataError(f"no failures for component {component}")
     shares = {
         name: len(sub) / len(subset)
         for name, sub in subset.by_failure_type().items()
@@ -75,7 +76,7 @@ def detection_source_breakdown(dataset: FOTDataset) -> Dict[DetectionSource, flo
     are manual miscellaneous reports.
     """
     if len(dataset) == 0:
-        raise ValueError("empty dataset")
+        raise InsufficientDataError("empty dataset")
     counts: Dict[DetectionSource, int] = {src: 0 for src in DetectionSource}
     for ticket in dataset:
         counts[ticket.source] += 1

@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.dataset import FOTDataset
 from repro.core.failure_types import REGISTRY
-from repro.core.ticket import FOT
 from repro.core.timeutil import DAY
 
 

@@ -6,6 +6,12 @@ tickets carry no response.  The paper's headline numbers: MTTR 42.2 days
 for D_fixing (median 6.1) and 19.1 days for false alarms (median 4.9);
 10 % of tickets wait more than 140 days and 2 % more than 200 — yet the
 tickets are eventually closed, not abandoned.
+
+Real dumps often lack ``op_time`` on a slice of closed tickets (§VII's
+incomplete-field caveat); every function here degrades gracefully by
+excluding those tickets, and — when passed a
+:class:`~repro.robustness.quality.DataQuality` — *reporting* how many
+were excluded instead of silently shrinking the sample.
 """
 
 from __future__ import annotations
@@ -18,15 +24,22 @@ import numpy as np
 from repro.core.dataset import FOTDataset
 from repro.core.timeutil import DAY
 from repro.core.types import ComponentClass, FOTCategory
+from repro.robustness.quality import (
+    DataQuality,
+    InsufficientDataError,
+    clean_response_times,
+)
 from repro.stats.empirical import ECDF, ecdf
 
 
-def response_times_seconds(dataset: FOTDataset) -> np.ndarray:
-    """RT values (seconds) for all tickets that have one."""
-    rts = dataset.response_times
-    rts = rts[~np.isnan(rts)]
+def response_times_seconds(
+    dataset: FOTDataset, quality: Optional[DataQuality] = None
+) -> np.ndarray:
+    """RT values (seconds) for all tickets that have one; exclusions are
+    reported into ``quality`` when given."""
+    rts = clean_response_times(dataset, "response", quality)
     if rts.size == 0:
-        raise ValueError("no tickets with an operator response")
+        raise InsufficientDataError("no tickets with an operator response")
     return rts
 
 
@@ -59,29 +72,34 @@ class RTStats:
 
 
 def rt_distribution(
-    dataset: FOTDataset, category: FOTCategory = FOTCategory.FIXING
+    dataset: FOTDataset,
+    category: FOTCategory = FOTCategory.FIXING,
+    quality: Optional[DataQuality] = None,
 ) -> RTStats:
     """Figure 9 for one ticket category."""
     subset = dataset.of_category(category)
     if len(subset) == 0:
-        raise ValueError(f"no tickets in category {category}")
-    return RTStats.from_seconds(response_times_seconds(subset))
+        raise InsufficientDataError(f"no tickets in category {category}")
+    return RTStats.from_seconds(response_times_seconds(subset, quality=quality))
 
 
 def rt_by_component(
-    dataset: FOTDataset, min_tickets: int = 30
+    dataset: FOTDataset,
+    min_tickets: int = 30,
+    quality: Optional[DataQuality] = None,
 ) -> Dict[ComponentClass, RTStats]:
     """Figure 10: RT statistics per component class (closed tickets of
     any category, as in the paper's "covering all FOTs" phrasing)."""
     out: Dict[ComponentClass, RTStats] = {}
     for cls, subset in dataset.by_component().items():
-        rts = subset.response_times
-        rts = rts[~np.isnan(rts)]
+        rts = clean_response_times(
+            subset, f"response.rt_by_component[{cls.value}]", quality
+        )
         if rts.size < min_tickets:
             continue
         out[cls] = RTStats.from_seconds(rts)
     if not out:
-        raise ValueError("no component class has enough closed tickets")
+        raise InsufficientDataError("no component class has enough closed tickets")
     return out
 
 
@@ -99,6 +117,7 @@ def rt_by_product_line(
     dataset: FOTDataset,
     component: Optional[ComponentClass] = ComponentClass.HDD,
     min_tickets: int = 10,
+    quality: Optional[DataQuality] = None,
 ) -> List[ProductLinePoint]:
     """Figure 11: per-product-line median RT against failure count.
 
@@ -108,8 +127,9 @@ def rt_by_product_line(
     subset = dataset if component is None else dataset.of_component(component)
     points: List[ProductLinePoint] = []
     for line, tickets in subset.by_product_line().items():
-        rts = tickets.response_times
-        rts = rts[~np.isnan(rts)]
+        rts = clean_response_times(
+            tickets, f"response.rt_by_product_line[{line}]", quality
+        )
         if rts.size < min_tickets:
             continue
         points.append(
@@ -143,6 +163,7 @@ def product_line_rt_summary(
     top_fraction: float = 0.01,
     small_line_max_failures: int = 100,
     slow_median_days: float = 100.0,
+    quality: Optional[DataQuality] = None,
 ) -> ProductLineRTSummary:
     """Compute the paper's Figure 11 quotes:
 
@@ -151,9 +172,9 @@ def product_line_rt_summary(
       100 days (paper: 21 %);
     * standard deviation of per-line median RT (paper: 30.2 d).
     """
-    points = rt_by_product_line(dataset, component)
+    points = rt_by_product_line(dataset, component, quality=quality)
     if not points:
-        raise ValueError("no product line has enough tickets")
+        raise InsufficientDataError("no product line has enough tickets")
     n_top = max(1, int(np.ceil(top_fraction * len(points))))
     top_median = float(np.median([p.median_rt_days for p in points[:n_top]]))
     small = [p for p in points if p.n_failures < small_line_max_failures]
@@ -171,10 +192,14 @@ def product_line_rt_summary(
     )
 
 
-def mttr_days(dataset: FOTDataset, category: FOTCategory) -> Tuple[float, float]:
+def mttr_days(
+    dataset: FOTDataset,
+    category: FOTCategory,
+    quality: Optional[DataQuality] = None,
+) -> Tuple[float, float]:
     """(mean, median) RT in days for one category — the paper's MTTR
     presentation."""
-    stats = rt_distribution(dataset, category)
+    stats = rt_distribution(dataset, category, quality=quality)
     return stats.mean_days, stats.median_days
 
 

@@ -11,13 +11,18 @@ under-floor-cooled racks) stick out beyond mu ± 2 sigma.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.dataset import FOTDataset
 from repro.core.ticket import FOT
 from repro.fleet.inventory import Inventory
+from repro.robustness.quality import (
+    DEFAULT_MAX_POSITION,
+    DataQuality,
+    InsufficientDataError,
+)
 from repro.stats.chisquare import ChiSquareResult
 from repro.stats.hypotheses import test_rack_position_uniform
 
@@ -77,6 +82,8 @@ def rack_position_profile(
     *,
     filter_repeats: bool = True,
     granularity: str = "servers",
+    max_position: int = DEFAULT_MAX_POSITION,
+    quality: Optional[DataQuality] = None,
 ) -> RackPositionProfile:
     """Per-slot failure ratio and the Hypothesis 5 test for one DC.
 
@@ -86,12 +93,32 @@ def rack_position_profile(
     test valid despite the extreme per-server failure concentration
     (one flapping server would otherwise reject uniformity on its own).
     ``granularity="failures"`` counts raw tickets instead.
+
+    Tickets with implausible rack positions (outside
+    ``[0, max_position]`` — inventory glitches in a real dump) are
+    excluded and reported into ``quality`` rather than corrupting the
+    chi-squared binning.
     """
     if granularity not in ("servers", "failures"):
         raise ValueError(f"unknown granularity: {granularity!r}")
     subset = dataset.failures().of_idc(idc)
     if len(subset) == 0:
-        raise ValueError(f"no failures in data center {idc!r}")
+        raise InsufficientDataError(f"no failures in data center {idc!r}")
+    positions = subset.positions
+    valid = (positions >= 0) & (positions <= max_position)
+    if not valid.all():
+        if quality is not None:
+            quality.note_exclusion(
+                f"spatial.rack_position_profile[{idc}]",
+                f"rack position outside [0, {max_position}]",
+                n_excluded=int((~valid).sum()),
+                n_used=int(valid.sum()),
+            )
+        subset = subset.where(valid)
+    if len(subset) == 0:
+        raise InsufficientDataError(
+            f"no failures with plausible rack positions in data center {idc!r}"
+        )
     if filter_repeats:
         subset = deduplicate_repeats(subset)
     if granularity == "servers":
@@ -158,6 +185,8 @@ def rack_position_tests(
     min_failures: int = 100,
     filter_repeats: bool = True,
     granularity: str = "servers",
+    max_position: int = DEFAULT_MAX_POSITION,
+    quality: Optional[DataQuality] = None,
 ) -> SpatialSummary:
     """Hypothesis 5 per data center (Table IV).
 
@@ -173,6 +202,8 @@ def rack_position_tests(
                 idc,
                 filter_repeats=filter_repeats,
                 granularity=granularity,
+                max_position=max_position,
+                quality=quality,
             )
         except ValueError:
             continue
@@ -180,7 +211,7 @@ def rack_position_tests(
             continue
         results[idc] = profile.test
     if not results:
-        raise ValueError("no data center has enough failures for the test")
+        raise InsufficientDataError("no data center has enough failures for the test")
     return SpatialSummary(results=results)
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.dataset import FOTDataset
 from repro.core.timeutil import MINUTE
 from repro.core.types import ComponentClass
+from repro.robustness.quality import InsufficientDataError
 from repro.stats.chisquare import ChiSquareResult
 from repro.stats.distributions import Distribution, fit_all
 from repro.stats.empirical import ECDF, ecdf
@@ -35,7 +36,7 @@ def tbf_values(dataset: FOTDataset) -> np.ndarray:
     """
     times = np.sort(dataset.failures().error_times)
     if times.size < 2:
-        raise ValueError("need at least 2 failures to compute TBF")
+        raise InsufficientDataError("need at least 2 failures to compute TBF")
     return np.maximum(np.diff(times), 1.0)
 
 
@@ -100,7 +101,7 @@ def mtbf_by_idc(dataset: FOTDataset) -> Dict[str, float]:
             continue
         out[idc] = float(tbf_values(subset).mean())
     if not out:
-        raise ValueError("no data center has enough failures for an MTBF")
+        raise InsufficientDataError("no data center has enough failures for an MTBF")
     return out
 
 

@@ -1,21 +1,28 @@
 """Command-line interface.
 
-Three subcommands::
+Core subcommands::
 
     fouryears generate --scale 0.05 --seed 7 --out trace.jsonl \
         --inventory inventory.csv
     fouryears analyze trace.jsonl --inventory inventory.csv
     fouryears report trace.jsonl          # compact headline summary
+    fouryears validate dump.csv           # quarantine + data-quality audit
+    fouryears corrupt trace.jsonl --out dirty.jsonl --seed 7
 
-``analyze`` prints every paper table/figure the dataset supports;
-``report`` prints only the headline numbers.
+``analyze`` prints every paper table/figure the dataset supports,
+skipping (with a notice) any analysis the data cannot sustain;
+``report`` prints only the headline numbers.  ``validate`` loads a dump
+through the quarantining loader and prints what was skipped/repaired
+plus a :class:`~repro.robustness.quality.DataQuality` assessment.
+``corrupt`` runs the deterministic chaos harness over a clean trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence
 
 from repro.analysis import (
     batch,
@@ -35,6 +42,13 @@ from repro.analysis import (
 from repro.core import io as core_io
 from repro.core.types import ComponentClass, FOTCategory
 from repro.fleet.inventory import Inventory
+from repro.robustness.chaos import (
+    CORRUPTION_KINDS,
+    CorruptionSpec,
+    corrupt_dataset,
+    default_specs,
+)
+from repro.robustness.quality import DataQuality, InsufficientDataError
 from repro.simulation.trace import generate_paper_trace
 
 
@@ -51,101 +65,155 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_dataset(path: str, lenient: bool):
+    """Load a dump; in lenient mode print the quarantine summary and
+    return whatever could be salvaged."""
+    if not lenient:
+        try:
+            return core_io.load(path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                "hint: pass --lenient to quarantine malformed lines and "
+                "analyze the rest",
+                file=sys.stderr,
+            )
+            raise SystemExit(2) from exc
+    dataset, quarantine = core_io.load(path, strict=False)
+    if not quarantine.clean:
+        print(quarantine.format())
+        print()
+    return dataset
+
+
+def _section(fn: Callable[[], None]) -> None:
+    """Run one analysis block, degrading to a skip notice when the data
+    cannot sustain it instead of aborting the whole report."""
+    try:
+        fn()
+    except InsufficientDataError as exc:
+        print(f"[skipped] {exc}")
+
+
 def _print_headlines(dataset, inventory: Optional[Inventory]) -> None:
-    cats = overview.category_breakdown(dataset)
-    print(
-        report.format_table(
-            ["category", "share"],
-            [
-                (cat.value, report.format_percent(cats.fraction(cat)))
-                for cat in FOTCategory
-            ],
-            title="Table I — FOT categories",
+    def table_i() -> None:
+        cats = overview.category_breakdown(dataset)
+        print(
+            report.format_table(
+                ["category", "share"],
+                [
+                    (cat.value, report.format_percent(cats.fraction(cat)))
+                    for cat in FOTCategory
+                ],
+                title="Table I — FOT categories",
+            )
         )
-    )
-    print()
-    comp = overview.component_breakdown(dataset)
-    print(
-        report.format_table(
-            ["component", "share"],
-            [(cls.value, report.format_percent(share)) for cls, share in comp.items()],
-            title="Table II — failures by component",
+        print()
+
+    def table_ii() -> None:
+        comp = overview.component_breakdown(dataset)
+        print(
+            report.format_table(
+                ["component", "share"],
+                [
+                    (cls.value, report.format_percent(share))
+                    for cls, share in comp.items()
+                ],
+                title="Table II — failures by component",
+            )
         )
-    )
-    print()
-    analysis = tbf.analyze_tbf(dataset)
-    print(f"MTBF: {analysis.mtbf_minutes:.1f} minutes over {analysis.n_gaps + 1} failures")
-    rejected = {name: t.reject_at(0.05) for name, t in analysis.tests.items()}
-    print(f"TBF fits rejected at 0.05: {rejected}")
+        print()
+
+    def mtbf() -> None:
+        analysis = tbf.analyze_tbf(dataset)
+        print(
+            f"MTBF: {analysis.mtbf_minutes:.1f} minutes over "
+            f"{analysis.n_gaps + 1} failures"
+        )
+        rejected = {name: t.reject_at(0.05) for name, t in analysis.tests.items()}
+        print(f"TBF fits rejected at 0.05: {rejected}")
+
+    _section(table_i)
+    _section(table_ii)
+    _section(mtbf)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    dataset = core_io.load(args.dataset)
+    dataset = _load_dataset(args.dataset, args.lenient)
     inventory = Inventory.load_csv(args.inventory) if args.inventory else None
     _print_headlines(dataset, inventory)
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    dataset = core_io.load(args.dataset)
+    dataset = _load_dataset(args.dataset, args.lenient)
     inventory = Inventory.load_csv(args.inventory) if args.inventory else None
+    quality = DataQuality.assess(dataset)
     _print_headlines(dataset, inventory)
 
-    print()
-    for cls, profile in temporal.day_of_week_summary(dataset, 4).items():
+    def fig3() -> None:
+        print()
+        for cls, profile in temporal.day_of_week_summary(dataset, 4).items():
+            print(
+                report.format_profile(
+                    profile.labels,
+                    profile.fractions,
+                    title=f"Figure 3 — {cls.value} by day of week ({profile.test})",
+                )
+            )
+            print()
+
+    def fig7() -> None:
+        curve = concentration.failure_concentration(dataset)
         print(
-            report.format_profile(
-                profile.labels,
-                profile.fractions,
-                title=f"Figure 3 — {cls.value} by day of week ({profile.test})",
+            f"Figure 7 — concentration: top 2 % of ever-failed servers hold "
+            f"{report.format_percent(curve.share_of_top(0.02))} of failures "
+            f"(gini {curve.gini:.3f})"
+        )
+        rep = repeating.repeating_stats(dataset)
+        print(
+            f"Repeats: {report.format_percent(rep.repeat_free_fraction)} of fixed "
+            f"components never repeat; "
+            f"{report.format_percent(rep.repeating_server_fraction)} of failed "
+            f"servers repeat; worst server has {rep.max_failures_single_server} failures"
+        )
+
+    def table_v() -> None:
+        freq = batch.batch_failure_frequency(dataset)
+        rows = [
+            (cls.value,)
+            + tuple(
+                report.format_percent(freq[cls][n]) for n in batch.TABLE_V_THRESHOLDS
+            )
+            for cls in ComponentClass
+        ]
+        print()
+        print(
+            report.format_table(
+                ["component", "r100", "r200", "r500"],
+                rows,
+                title="Table V — batch failure frequency",
             )
         )
+
+    def table_vi() -> None:
+        corr = correlated.component_pair_counts(dataset)
         print()
-
-    curve = concentration.failure_concentration(dataset)
-    print(
-        f"Figure 7 — concentration: top 2 % of ever-failed servers hold "
-        f"{report.format_percent(curve.share_of_top(0.02))} of failures "
-        f"(gini {curve.gini:.3f})"
-    )
-    rep = repeating.repeating_stats(dataset)
-    print(
-        f"Repeats: {report.format_percent(rep.repeat_free_fraction)} of fixed "
-        f"components never repeat; "
-        f"{report.format_percent(rep.repeating_server_fraction)} of failed "
-        f"servers repeat; worst server has {rep.max_failures_single_server} failures"
-    )
-
-    freq = batch.batch_failure_frequency(dataset)
-    rows = [
-        (cls.value,) + tuple(report.format_percent(freq[cls][n]) for n in batch.TABLE_V_THRESHOLDS)
-        for cls in ComponentClass
-    ]
-    print()
-    print(
-        report.format_table(
-            ["component", "r100", "r200", "r500"],
-            rows,
-            title="Table V — batch failure frequency",
+        print(
+            f"Correlated pairs: {corr.total_pairs()} "
+            f"({report.format_percent(corr.correlated_server_fraction)} of failed "
+            f"servers; misc share {report.format_percent(corr.misc_share)})"
         )
-    )
 
-    corr = correlated.component_pair_counts(dataset)
-    print()
-    print(
-        f"Correlated pairs: {corr.total_pairs()} "
-        f"({report.format_percent(corr.correlated_server_fraction)} of failed "
-        f"servers; misc share {report.format_percent(corr.misc_share)})"
-    )
+    def fig9() -> None:
+        fixing = response.rt_distribution(dataset, FOTCategory.FIXING, quality=quality)
+        print(
+            f"RT (D_fixing): median {fixing.median_days:.1f} d, mean "
+            f"{fixing.mean_days:.1f} d, >140 d: {report.format_percent(fixing.tail_140d)}"
+        )
 
-    fixing = response.rt_distribution(dataset, FOTCategory.FIXING)
-    print(
-        f"RT (D_fixing): median {fixing.median_days:.1f} d, mean "
-        f"{fixing.mean_days:.1f} d, >140 d: {report.format_percent(fixing.tail_140d)}"
-    )
-
-    if inventory is not None:
-        summary = spatial.rack_position_tests(dataset, inventory)
+    def table_iv() -> None:
+        summary = spatial.rack_position_tests(dataset, inventory, quality=quality)
         print()
         print(
             report.format_table(
@@ -154,6 +222,72 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 title="Table IV — rack-position chi-square results",
             )
         )
+
+    _section(fig3)
+    _section(fig7)
+    _section(table_v)
+    _section(table_vi)
+    _section(fig9)
+    if inventory is not None:
+        _section(table_iv)
+
+    if quality.grade != "ok" or quality.exclusions:
+        print()
+        print(quality.format())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        dataset, quarantine = core_io.load(args.dataset, strict=False)
+    except ValueError as exc:
+        # Even lenient loading refuses structurally unreadable dumps
+        # (unknown format, missing required CSV columns).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(quarantine.format())
+    print()
+    quality = DataQuality.assess(dataset)
+    # Probe the degradation-aware analyses so their exclusions show up
+    # in the assessment even though we discard the statistics here.
+    for category in (FOTCategory.FIXING, FOTCategory.FALSE_ALARM):
+        try:
+            response.rt_distribution(dataset, category, quality=quality)
+        except ValueError:
+            pass
+    print(quality.format())
+    dirty = quarantine.n_skipped > 0 or quality.grade == "poor"
+    return 1 if dirty else 0
+
+
+def _cmd_corrupt(args: argparse.Namespace) -> int:
+    dataset = core_io.load(args.dataset)
+    try:
+        if args.kind:
+            specs = [CorruptionSpec.parse(token) for token in args.kind]
+        else:
+            specs = default_specs(args.intensity)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    try:
+        include_detail = core_io._format_of(out) == ".jsonl"
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records, manifest = corrupt_dataset(
+        dataset, specs, seed=args.seed, include_detail=include_detail
+    )
+    core_io.write_records(records, out)
+    manifest_path = Path(args.manifest) if args.manifest else Path(str(out) + ".manifest.json")
+    manifest_path.write_text(manifest.to_json() + "\n", encoding="utf-8")
+    print(
+        f"corrupted {manifest.n_input} -> {manifest.n_output} records "
+        f"({', '.join(manifest.kinds())}) with seed {args.seed}"
+    )
+    print(f"wrote dump to {out}")
+    print(f"wrote manifest to {manifest_path}")
     return 0
 
 
@@ -253,12 +387,56 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="print headline statistics")
     rep.add_argument("dataset")
     rep.add_argument("--inventory", default=None)
+    rep.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine malformed lines instead of failing the load",
+    )
     rep.set_defaults(func=_cmd_report)
 
     ana = sub.add_parser("analyze", help="run every paper analysis")
     ana.add_argument("dataset")
     ana.add_argument("--inventory", default=None)
+    ana.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine malformed lines instead of failing the load",
+    )
     ana.set_defaults(func=_cmd_analyze)
+
+    val = sub.add_parser(
+        "validate",
+        help="audit a ticket dump: quarantine report + data-quality grade "
+        "(exit 1 when lines were skipped or the grade is poor)",
+    )
+    val.add_argument("dataset")
+    val.set_defaults(func=_cmd_validate)
+
+    cor = sub.add_parser(
+        "corrupt",
+        help="deterministically corrupt a clean trace with FMS pathologies "
+        "(chaos harness); writes the dump plus a machine-readable manifest",
+    )
+    cor.add_argument("dataset")
+    cor.add_argument("--out", default="corrupted.jsonl")
+    cor.add_argument("--seed", type=int, default=20170626)
+    cor.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND[:INTENSITY]",
+        help=f"corruption to inject (repeatable); kinds: {', '.join(CORRUPTION_KINDS)}. "
+        "Default: every kind at --intensity",
+    )
+    cor.add_argument(
+        "--intensity",
+        type=float,
+        default=0.05,
+        help="fraction of eligible items affected for kinds without an "
+        "explicit intensity (default 0.05)",
+    )
+    cor.add_argument("--manifest", default=None, help="manifest path (default: OUT.manifest.json)")
+    cor.set_defaults(func=_cmd_corrupt)
 
     mine = sub.add_parser(
         "mine", help="cluster tickets into incidents (Section VII-B tool)"
@@ -295,7 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

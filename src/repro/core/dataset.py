@@ -202,6 +202,26 @@ class FOTDataset:
         order = np.argsort(self.error_times, kind="stable")
         return FOTDataset([self._tickets[i] for i in order])
 
+    def with_op_time(self) -> "FOTDataset":
+        """Tickets carrying an operator close time (RT is defined)."""
+        return self.where(~np.isnan(self.op_times))
+
+    def duplicate_suspect_mask(self, window_seconds: float = 86400.0) -> np.ndarray:
+        """Boolean mask flagging stateless-FMS re-open suspects: tickets
+        on the same physical component within ``window_seconds`` of the
+        previous ticket on that component (the §VII-B pathology).  Drop
+        them with ``dataset.where(~mask)``."""
+        mask = np.zeros(len(self), dtype=bool)
+        order = np.argsort(self.error_times, kind="stable")
+        last_seen: Dict[tuple, float] = {}
+        for idx in order:
+            ticket = self._tickets[idx]
+            prev = last_seen.get(ticket.component_key)
+            if prev is not None and ticket.error_time - prev <= window_seconds:
+                mask[idx] = True
+            last_seen[ticket.component_key] = ticket.error_time
+        return mask
+
     # ------------------------------------------------------------------
     # grouping
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ flaws").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from repro.core.types import ComponentClass

@@ -7,7 +7,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.types import ComponentClass
-from repro.fleet.component import GENERATIONS, ServerGeneration
+from repro.fleet.component import GENERATIONS
 from repro.fleet.datacenter import DataCenter
 from repro.fleet.product_line import ProductLine
 from repro.fleet.server import Server

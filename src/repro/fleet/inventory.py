@@ -139,10 +139,12 @@ class Inventory:
     _CSV_BASE = ["host_id", "idc", "position", "deployed_at", "product_line"]
 
     def save_csv(self, path: Union[str, Path]) -> None:
+        from repro.core.io import _atomic_write
+
         path = Path(path)
         count_cols = sorted(self.component_counts, key=lambda c: c.value)
         fields = self._CSV_BASE + [f"n_{c.value}" for c in count_cols]
-        with path.open("w", encoding="utf-8", newline="") as fh:
+        with _atomic_write(path, newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(fields)
             for i in range(len(self)):

@@ -13,7 +13,7 @@ Two physical effects from Section IV live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 import numpy as np
 
 from repro.config import SpatialProfile

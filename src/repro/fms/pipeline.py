@@ -22,7 +22,6 @@ from repro.core.dataset import FOTDataset
 from repro.core.ticket import FOT
 from repro.core.types import (
     ComponentClass,
-    DetectionSource,
     FOTCategory,
     OperatorAction,
 )

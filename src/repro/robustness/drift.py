@@ -1,0 +1,224 @@
+"""Graceful-degradation benchmark: statistic drift under corruption.
+
+Sweeps corruption type × intensity over a clean trace and records how
+far each headline paper statistic moves when the corrupted dump is
+re-ingested through the quarantining loader — quantifying exactly how
+much dirt the toolkit's conclusions can absorb (and which statistics
+are fragile: duplicates inflate MTBF pressure, dropped ``op_time``
+starves Figure 9, mislabels skew Table I).
+
+The headline statistics tracked by default:
+
+* ``fixing_share`` — Table I's D_fixing fraction (paper: 70.3 %).
+* ``hdd_share`` — Table II's HDD share of failures (paper: 81.84 %).
+* ``mtbf_minutes`` — the overall MTBF (paper: 6.8 min at full scale).
+* ``median_rt_days`` — Figure 9's median D_fixing response time
+  (paper: 6.1 days).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import overview, response, tbf
+from repro.core import io as core_io
+from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY, MINUTE
+from repro.core.types import ComponentClass, FOTCategory
+from repro.robustness.chaos import CORRUPTION_KINDS, CorruptionSpec, corrupt_dataset
+
+StatFn = Callable[[FOTDataset], float]
+
+
+def _fixing_share(dataset: FOTDataset) -> float:
+    return overview.category_breakdown(dataset).fraction(FOTCategory.FIXING)
+
+
+def _hdd_share(dataset: FOTDataset) -> float:
+    return overview.component_breakdown(dataset).get(ComponentClass.HDD, 0.0)
+
+
+def _mtbf_minutes(dataset: FOTDataset) -> float:
+    return float(tbf.tbf_values(dataset).mean() / MINUTE)
+
+
+def _median_rt_days(dataset: FOTDataset) -> float:
+    import numpy as np
+
+    rts = response.response_times_seconds(dataset.of_category(FOTCategory.FIXING))
+    return float(np.median(rts) / DAY)
+
+
+HEADLINE_STATS: Dict[str, StatFn] = {
+    "fixing_share": _fixing_share,
+    "hdd_share": _hdd_share,
+    "mtbf_minutes": _mtbf_minutes,
+    "median_rt_days": _median_rt_days,
+}
+
+
+@dataclass(frozen=True)
+class DriftCell:
+    """One (corruption kind, intensity, statistic) measurement."""
+
+    kind: str
+    intensity: float
+    stat: str
+    clean_value: float
+    corrupted_value: float
+
+    @property
+    def drift(self) -> float:
+        return self.corrupted_value - self.clean_value
+
+    @property
+    def relative_drift(self) -> float:
+        if not math.isfinite(self.corrupted_value):
+            return math.nan
+        if self.clean_value == 0:
+            return math.nan
+        return self.drift / abs(self.clean_value)
+
+
+@dataclass(frozen=True)
+class DriftRun:
+    """One corrupted re-ingestion: what loaded and what each stat said."""
+
+    kind: str
+    intensity: float
+    n_loaded: int
+    n_skipped: int
+    stats: Dict[str, float]
+
+
+@dataclass
+class DriftTable:
+    """The full sweep result."""
+
+    clean_stats: Dict[str, float]
+    runs: List[DriftRun] = field(default_factory=list)
+
+    @property
+    def cells(self) -> List[DriftCell]:
+        return [
+            DriftCell(run.kind, run.intensity, stat, self.clean_stats[stat], value)
+            for run in self.runs
+            for stat, value in run.stats.items()
+        ]
+
+    def worst_drift(self, stat: str) -> Optional[DriftCell]:
+        """The cell where ``stat`` moved furthest (relative)."""
+        candidates = [
+            c
+            for c in self.cells
+            if c.stat == stat and math.isfinite(c.relative_drift)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: abs(c.relative_drift))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clean_stats": dict(self.clean_stats),
+            "runs": [
+                {
+                    "kind": run.kind,
+                    "intensity": run.intensity,
+                    "n_loaded": run.n_loaded,
+                    "n_skipped": run.n_skipped,
+                    "stats": dict(run.stats),
+                }
+                for run in self.runs
+            ],
+        }
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        """Table rows: corruption, intensity, skipped, then one
+        ``value (relative drift)`` column per statistic."""
+        out: List[Tuple[object, ...]] = []
+        for run in self.runs:
+            cells: List[object] = [run.kind, f"{run.intensity:.0%}", run.n_skipped]
+            for stat, clean_value in self.clean_stats.items():
+                value = run.stats.get(stat, math.nan)
+                if not math.isfinite(value):
+                    cells.append("n/a")
+                    continue
+                cell = DriftCell(run.kind, run.intensity, stat, clean_value, value)
+                rel = cell.relative_drift
+                suffix = f" ({rel:+.1%})" if math.isfinite(rel) else ""
+                cells.append(f"{value:.3g}{suffix}")
+            out.append(tuple(cells))
+        return out
+
+    def header(self) -> List[str]:
+        return ["corruption", "intensity", "skipped"] + list(self.clean_stats)
+
+    def format(self) -> str:
+        from repro.analysis import report
+
+        clean = ", ".join(f"{k}={v:.3g}" for k, v in self.clean_stats.items())
+        return (
+            report.format_table(
+                self.header(),
+                self.rows(),
+                title="robustness drift (statistic value and relative drift vs. clean)",
+            )
+            + f"\nclean baseline: {clean}"
+        )
+
+
+def _evaluate(dataset: FOTDataset, stats: Dict[str, StatFn]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for name, fn in stats.items():
+        try:
+            out[name] = float(fn(dataset))
+        except ValueError:
+            # InsufficientDataError or an empty subset: the statistic is
+            # simply unavailable on this corrupted dump.
+            out[name] = math.nan
+    return out
+
+
+def robustness_sweep(
+    dataset: FOTDataset,
+    kinds: Sequence[str] = CORRUPTION_KINDS,
+    intensities: Sequence[float] = (0.05, 0.2),
+    seed: int = 20170626,
+    stats: Optional[Dict[str, StatFn]] = None,
+) -> DriftTable:
+    """Corrupt ``dataset`` one pathology at a time, re-ingest through
+    the quarantining loader, and record every statistic's drift."""
+    stats = dict(stats or HEADLINE_STATS)
+    table = DriftTable(clean_stats=_evaluate(dataset, stats))
+    for kind in kinds:
+        for intensity in intensities:
+            records, _ = corrupt_dataset(
+                dataset, [CorruptionSpec(kind, intensity)], seed=seed
+            )
+            loaded, quarantine = core_io.parse_records(
+                list(enumerate(records, start=1)),
+                strict=False,
+                source=f"chaos:{kind}:{intensity}",
+            )
+            table.runs.append(
+                DriftRun(
+                    kind=kind,
+                    intensity=intensity,
+                    n_loaded=len(loaded),
+                    n_skipped=quarantine.n_skipped,
+                    stats=_evaluate(loaded, stats),
+                )
+            )
+    return table
+
+
+__all__ = [
+    "StatFn",
+    "HEADLINE_STATS",
+    "DriftCell",
+    "DriftRun",
+    "DriftTable",
+    "robustness_sweep",
+]

@@ -1,0 +1,237 @@
+"""Quarantine bookkeeping for dirty ticket dumps.
+
+``repro.core.io``'s ``strict=False`` loaders route every malformed line
+and every silent repair into a :class:`QuarantineReport` instead of
+raising, so a real FMS dump with a handful of broken rows still yields a
+dataset *plus a full accounting of what was dropped or touched* — the
+statistics never silently absorb dirt.
+
+Error classes are stable strings (``bad_enum``, ``bad_number``, ...) so
+downstream tooling can aggregate reports across dumps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Stable error-class vocabulary used by the loaders.
+BAD_JSON = "bad_json"
+MISSING_FIELD = "missing_field"
+BAD_ENUM = "bad_enum"
+BAD_NUMBER = "bad_number"
+BAD_TIMESTAMP = "bad_timestamp"
+NEGATIVE_TIME = "negative_time"
+INCONSISTENT_TIMES = "inconsistent_times"
+
+ERROR_CLASSES = (
+    BAD_JSON,
+    MISSING_FIELD,
+    BAD_ENUM,
+    BAD_NUMBER,
+    BAD_TIMESTAMP,
+    NEGATIVE_TIME,
+    INCONSISTENT_TIMES,
+)
+
+#: Stable repair-kind vocabulary.
+TIMESTAMP_COERCED = "timestamp_coerced"
+CATEGORY_ALIASED = "category_aliased"
+COMPONENT_ALIASED = "component_aliased"
+SOURCE_ALIASED = "source_aliased"
+ACTION_ALIASED = "action_aliased"
+OP_TIME_DROPPED = "op_time_dropped"
+SLOT_DEFAULTED = "slot_defaulted"
+
+REPAIR_KINDS = (
+    TIMESTAMP_COERCED,
+    CATEGORY_ALIASED,
+    COMPONENT_ALIASED,
+    SOURCE_ALIASED,
+    ACTION_ALIASED,
+    OP_TIME_DROPPED,
+    SLOT_DEFAULTED,
+)
+
+
+class RowError(ValueError):
+    """A single unrecoverable defect in one record.
+
+    Raised by the field parsers in :mod:`repro.core.io`; the strict path
+    re-raises it with the line number, the quarantine path records it.
+    """
+
+    def __init__(self, error_class: str, message: str, field: Optional[str] = None):
+        super().__init__(message)
+        self.error_class = error_class
+        self.field = field
+
+
+@dataclass(frozen=True)
+class SkipEntry:
+    """One quarantined (skipped) line."""
+
+    line: int
+    error_class: str
+    message: str
+    field: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "error_class": self.error_class,
+            "message": self.message,
+            "field": self.field,
+        }
+
+
+@dataclass(frozen=True)
+class RepairEntry:
+    """One in-place repair applied while loading a line."""
+
+    line: int
+    repair: str
+    field: str
+    original: str
+    repaired: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "repair": self.repair,
+            "field": self.field,
+            "original": self.original,
+            "repaired": self.repaired,
+        }
+
+
+class QuarantineReport:
+    """Everything a non-strict load skipped or repaired.
+
+    The invariant the loaders maintain:
+    ``lines_seen == n_loaded + n_skipped`` — every input line is either a
+    ticket in the returned dataset or a :class:`SkipEntry` here.
+    """
+
+    def __init__(self, source: str = "<records>"):
+        self.source = source
+        self.skips: List[SkipEntry] = []
+        self.repairs: List[RepairEntry] = []
+        self.n_loaded: int = 0
+
+    # ------------------------------------------------------------------
+    # recording (loader-facing)
+    # ------------------------------------------------------------------
+    def record_skip(
+        self, line: int, error_class: str, message: str, field: Optional[str] = None
+    ) -> None:
+        self.skips.append(SkipEntry(line, error_class, message, field))
+
+    def record_repair(
+        self, line: int, repair: str, field: str, original: object, repaired: object
+    ) -> None:
+        self.repairs.append(
+            RepairEntry(line, repair, field, str(original), str(repaired))
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skips)
+
+    @property
+    def n_repaired_lines(self) -> int:
+        """Distinct lines that received at least one repair."""
+        return len({r.line for r in self.repairs})
+
+    @property
+    def lines_seen(self) -> int:
+        return self.n_loaded + self.n_skipped
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was skipped or repaired."""
+        return not self.skips and not self.repairs
+
+    def skip_counts(self) -> Dict[str, int]:
+        """Per-error-class skip counts, descending."""
+        counts = Counter(s.error_class for s in self.skips)
+        return dict(counts.most_common())
+
+    def repair_counts(self) -> Dict[str, int]:
+        """Per-repair-kind counts, descending."""
+        counts = Counter(r.repair for r in self.repairs)
+        return dict(counts.most_common())
+
+    def skipped_lines(self) -> List[int]:
+        return sorted({s.line for s in self.skips})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "n_loaded": self.n_loaded,
+            "n_skipped": self.n_skipped,
+            "n_repaired_lines": self.n_repaired_lines,
+            "skip_counts": self.skip_counts(),
+            "repair_counts": self.repair_counts(),
+            "skips": [s.to_dict() for s in self.skips],
+            "repairs": [r.to_dict() for r in self.repairs],
+        }
+
+    def format(self, max_lines: int = 10) -> str:
+        """Human-readable summary for the CLI."""
+        out = [
+            f"quarantine report for {self.source}:",
+            f"  loaded {self.n_loaded} tickets, skipped {self.n_skipped} lines, "
+            f"repaired {self.n_repaired_lines} lines",
+        ]
+        if self.skips:
+            out.append("  skips by error class:")
+            for cls, n in self.skip_counts().items():
+                out.append(f"    {cls}: {n}")
+            shown = self.skips[:max_lines]
+            for entry in shown:
+                field = f" [{entry.field}]" if entry.field else ""
+                out.append(f"    line {entry.line}{field}: {entry.message}")
+            if len(self.skips) > max_lines:
+                out.append(f"    ... and {len(self.skips) - max_lines} more")
+        if self.repairs:
+            out.append("  repairs by kind:")
+            for kind, n in self.repair_counts().items():
+                out.append(f"    {kind}: {n}")
+        if self.clean:
+            out.append("  clean: no lines skipped or repaired")
+        return "\n".join(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuarantineReport(loaded={self.n_loaded}, "
+            f"skipped={self.n_skipped}, repaired_lines={self.n_repaired_lines})"
+        )
+
+
+__all__ = [
+    "ERROR_CLASSES",
+    "REPAIR_KINDS",
+    "RowError",
+    "SkipEntry",
+    "RepairEntry",
+    "QuarantineReport",
+    "BAD_JSON",
+    "MISSING_FIELD",
+    "BAD_ENUM",
+    "BAD_NUMBER",
+    "BAD_TIMESTAMP",
+    "NEGATIVE_TIME",
+    "INCONSISTENT_TIMES",
+    "TIMESTAMP_COERCED",
+    "CATEGORY_ALIASED",
+    "COMPONENT_ALIASED",
+    "SOURCE_ALIASED",
+    "ACTION_ALIASED",
+    "OP_TIME_DROPPED",
+    "SLOT_DEFAULTED",
+]

@@ -29,7 +29,7 @@ from repro.fleet.fleet import Fleet
 from repro.fms.detectors import DetectionModel
 from repro.simulation import calibration
 from repro.simulation.events import RawFailure
-from repro.simulation.hazards import LifecycleShape, build_shapes
+from repro.simulation.hazards import build_shapes
 
 #: Days per simulation month (see :data:`repro.core.timeutil.MONTH`).
 _DAYS_PER_MONTH = int(MONTH // DAY)

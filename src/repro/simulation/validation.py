@@ -14,7 +14,6 @@ from typing import List
 
 from repro.analysis import (
     batch,
-    concentration,
     correlated,
     overview,
     repeating,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import ScenarioConfig, paper_scenario
+from repro.config import paper_scenario
 from repro.simulation.trace import SyntheticTrace, generate_trace
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.stats.empirical import ECDF, ecdf, fraction_profile, gini, quantile
+from repro.stats.empirical import ecdf, fraction_profile, gini, quantile
 
 
 class TestECDF:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.dataset import FOTDataset
 from repro.core.timeutil import DAY, HOUR
-from repro.core.types import ComponentClass, FOTCategory
+from repro.core.types import ComponentClass
 from repro.stats import hypotheses
 from repro.stats.distributions import Exponential
 from tests.test_ticket import make_ticket

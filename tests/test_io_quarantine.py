@@ -1,0 +1,177 @@
+"""Quarantining (``strict=False``) ingestion tests."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core import io as core_io
+from repro.core.dataset import FOTDataset
+from repro.core.types import ComponentClass, FOTCategory
+from repro.robustness import quarantine as q
+from tests.test_ticket import make_ticket
+
+
+def _clean_row() -> dict:
+    return {
+        "fot_id": "10",
+        "host_id": "7",
+        "hostname": "dc00-r001-s05",
+        "host_idc": "dc00",
+        "error_device": "hdd",
+        "error_type": "SMARTFail",
+        "error_time": "1000.0",
+        "error_position": "5",
+        "error_detail": "sda1",
+        "category": "d_fixing",
+        "source": "syslog",
+        "product_line": "pl000",
+        "deployed_at": "-100.0",
+        "device_slot": "0",
+        "action": "repair_order",
+        "operator_id": "op1",
+        "op_time": "2000.0",
+    }
+
+
+def _write_csv(path, rows):
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=core_io.CSV_FIELDS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+@pytest.fixture()
+def dirty_csv(tmp_path):
+    """A dump with five distinct corruption classes plus repairables."""
+    rows = [_clean_row()]
+    bad_enum = dict(_clean_row(), fot_id="11", error_device="warp_core")
+    bad_number = dict(_clean_row(), fot_id="nope")
+    bad_timestamp = dict(_clean_row(), fot_id="13", error_time="whenever")
+    missing_field = dict(_clean_row(), fot_id="14", hostname="")
+    negative_time = dict(_clean_row(), fot_id="15", error_time="-5.0")
+    aliased = dict(_clean_row(), fot_id="16", category="Fixing", error_device="disk")
+    iso_stamp = dict(
+        _clean_row(),
+        fot_id="17",
+        error_time="2015-03-02T10:00:00",
+        op_time="2015-03-03 10:00:00",
+    )
+    op_before_error = dict(_clean_row(), fot_id="18", op_time="1.0")
+    rows += [
+        bad_enum,
+        bad_number,
+        bad_timestamp,
+        missing_field,
+        negative_time,
+        aliased,
+        iso_stamp,
+        op_before_error,
+    ]
+    path = tmp_path / "dirty.csv"
+    _write_csv(path, rows)
+    return path
+
+
+class TestQuarantineCSV:
+    def test_strict_mode_unchanged(self, dirty_csv):
+        with pytest.raises(ValueError, match="line 3"):
+            core_io.load_csv(dirty_csv)
+
+    def test_every_line_accounted_for(self, dirty_csv):
+        dataset, report = core_io.load_csv(dirty_csv, strict=False)
+        assert len(dataset) == report.n_loaded == 4
+        assert report.n_skipped == 5
+        assert report.lines_seen == 9
+        assert report.skipped_lines() == [3, 4, 5, 6, 7]
+
+    def test_five_distinct_error_classes(self, dirty_csv):
+        _, report = core_io.load_csv(dirty_csv, strict=False)
+        assert report.skip_counts() == {
+            q.BAD_ENUM: 1,
+            q.BAD_NUMBER: 1,
+            q.BAD_TIMESTAMP: 1,
+            q.MISSING_FIELD: 1,
+            q.NEGATIVE_TIME: 1,
+        }
+
+    def test_repairs_recorded(self, dirty_csv):
+        dataset, report = core_io.load_csv(dirty_csv, strict=False)
+        kinds = report.repair_counts()
+        assert kinds[q.CATEGORY_ALIASED] == 1
+        assert kinds[q.COMPONENT_ALIASED] == 1
+        assert kinds[q.TIMESTAMP_COERCED] == 2  # error_time and op_time
+        assert kinds[q.OP_TIME_DROPPED] == 1
+        assert report.n_repaired_lines == 3
+
+    def test_repaired_values(self, dirty_csv):
+        dataset, _ = core_io.load_csv(dirty_csv, strict=False)
+        by_id = {t.fot_id: t for t in dataset}
+        assert by_id[16].category is FOTCategory.FIXING
+        assert by_id[16].error_device is ComponentClass.HDD
+        assert by_id[17].op_time - by_id[17].error_time == pytest.approx(86400.0)
+        assert by_id[18].op_time is None  # inconsistent op_time dropped
+
+    def test_optional_columns_may_be_absent(self, tmp_path):
+        fields = [f for f in core_io.CSV_FIELDS if f not in ("op_time", "action", "operator_id")]
+        row = {k: v for k, v in _clean_row().items() if k in fields}
+        path = tmp_path / "partial.csv"
+        with path.open("w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            writer.writerow(row)
+        with pytest.raises(ValueError, match="missing columns"):
+            core_io.load_csv(path)
+        dataset, report = core_io.load_csv(path, strict=False)
+        assert len(dataset) == 1 and report.clean
+        assert dataset[0].op_time is None
+
+    def test_required_columns_still_enforced(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("fot_id,host_id\n1,2\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            core_io.load_csv(path, strict=False)
+
+
+class TestQuarantineJSONL:
+    def test_bad_json_quarantined(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        core_io.save_jsonl(FOTDataset([make_ticket()]), path)
+        path.write_text(path.read_text() + "{not json\n")
+        dataset, report = core_io.load_jsonl(path, strict=False)
+        assert len(dataset) == 1
+        assert report.skip_counts() == {q.BAD_JSON: 1}
+        assert report.lines_seen == 2
+
+    def test_clean_dump_reports_clean(self, tmp_path, tiny_dataset):
+        path = tmp_path / "t.jsonl"
+        subset = tiny_dataset[:50]
+        core_io.save_jsonl(subset, path)
+        dataset, report = core_io.load_jsonl(path, strict=False)
+        assert len(dataset) == 50
+        assert report.clean
+        assert report.n_loaded == 50
+
+    def test_dispatch_load_lenient(self, tmp_path, tiny_dataset):
+        path = tmp_path / "t.jsonl"
+        core_io.save(tiny_dataset[:5], path)
+        result = core_io.load(path, strict=False)
+        dataset, report = result
+        assert isinstance(result, core_io.LoadResult)
+        assert len(dataset) == 5 and report.clean
+
+
+class TestReportRendering:
+    def test_format_mentions_counts(self, dirty_csv):
+        _, report = core_io.load_csv(dirty_csv, strict=False)
+        text = report.format()
+        assert "skipped 5 lines" in text
+        assert q.BAD_ENUM in text
+        assert "repaired 3 lines" in text
+
+    def test_to_dict_round_trips_json(self, dirty_csv):
+        _, report = core_io.load_csv(dirty_csv, strict=False)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["n_skipped"] == 5
+        assert payload["skip_counts"][q.BAD_ENUM] == 1

@@ -1,6 +1,5 @@
 """Incident mining (the Section VII-B tool)."""
 
-import pytest
 
 from repro.analysis import mining
 from repro.core.dataset import FOTDataset

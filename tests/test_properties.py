@@ -1,6 +1,5 @@
 """Property-based tests over core data structures and invariants."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dataset import FOTDataset
