@@ -1,0 +1,298 @@
+"""Core-substrate performance benchmark: load -> filter -> group -> report.
+
+Unlike the figure/table benches (which validate statistics), this script
+times the *dataset substrate itself* over synthetic ticket volumes of
+50k / 290k / 1M and records the repo's performance trajectory in
+``BENCH_perf.json``.  It deliberately sticks to the public
+:class:`~repro.core.dataset.FOTDataset` API that is stable across the
+row-first and columnar implementations, so the same script produces the
+before/after numbers of the columnar refactor.
+
+Stages timed per tier:
+
+* ``load``    — parse raw record dicts into a dataset
+  (:func:`repro.core.io.parse_records`, strict mode).
+* ``filter``  — the subset chain every analysis opens with:
+  ``failures()``, ``of_component``, ``of_idc``, ``of_product_line``,
+  ``of_source``, ``between``, ``where(mask)``, ``with_op_time``.
+* ``group``   — every ``by_*`` grouping plus ``sorted_by_time``.
+* ``report``  — the full headline-report pipeline the CLI runs:
+  overview breakdowns, TBF fits, ``summary()``, repeat deduplication
+  and the :class:`~repro.robustness.quality.DataQuality` assessment.
+
+Usage::
+
+    # record the current implementation at two tiers
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --tiers 50k,290k --label current
+
+    # CI regression gate: fresh 50k run vs. the checked-in numbers
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --tiers 50k --check --max-regression 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis import overview, spatial, tbf
+from repro.core import io as core_io
+from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+from repro.robustness.quality import DataQuality, InsufficientDataError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_perf.json"
+
+TIERS: Dict[str, int] = {"50k": 50_000, "290k": 290_000, "1m": 1_000_000}
+
+_CATEGORIES = ["d_fixing", "d_error", "d_falsealarm"]
+_CATEGORY_P = [0.703, 0.280, 0.017]
+_COMPONENTS = [c.value for c in ComponentClass]
+_COMPONENT_P = [0.55, 0.04, 0.02, 0.02, 0.08, 0.05, 0.03, 0.04, 0.05, 0.02, 0.10]
+_SOURCES = ["syslog", "polling", "manual"]
+_SOURCE_P = [0.55, 0.35, 0.10]
+_ERROR_TYPES = [
+    "SMARTFail", "NotReady", "MediaError", "UncorrectableECC",
+    "PSUFailure", "FanStall", "KernelPanic", "ManualReport",
+]
+_HORIZON = 4 * 365.25 * 86400.0
+
+
+def synth_records(n: int, seed: int = 20170626) -> List[Dict[str, object]]:
+    """Generate ``n`` plausible raw ticket records without running the
+    (much slower) full simulation — volume, not statistical fidelity,
+    is what this benchmark needs."""
+    rng = np.random.default_rng(seed)
+    n_hosts = max(50, n // 10)
+    host_ids = rng.integers(0, n_hosts, size=n)
+    idcs = host_ids % 24
+    lines = host_ids % 15
+    times = np.sort(rng.uniform(0.0, _HORIZON, size=n))
+    cats = rng.choice(len(_CATEGORIES), size=n, p=np.asarray(_CATEGORY_P))
+    comps = rng.choice(len(_COMPONENTS), size=n, p=np.asarray(_COMPONENT_P))
+    sources = rng.choice(len(_SOURCES), size=n, p=np.asarray(_SOURCE_P))
+    types = rng.integers(0, len(_ERROR_TYPES), size=n)
+    positions = host_ids % 40
+    slots = rng.integers(0, 12, size=n)
+    deployed = rng.uniform(0.0, 0.5 * _HORIZON, size=n)
+    deployed = np.minimum(deployed, times)
+    rt = rng.lognormal(mean=11.0, sigma=1.2, size=n)
+
+    records: List[Dict[str, object]] = []
+    for i in range(n):
+        cat = _CATEGORIES[cats[i]]
+        closed = cat != "d_error"
+        records.append(
+            {
+                "fot_id": i,
+                "host_id": int(host_ids[i]),
+                "hostname": f"host{host_ids[i]:07d}",
+                "host_idc": f"dc{idcs[i]:02d}",
+                "error_device": _COMPONENTS[comps[i]],
+                "error_type": _ERROR_TYPES[types[i]],
+                "error_time": float(times[i]),
+                "error_position": int(positions[i]),
+                "error_detail": f"dev{slots[i]}",
+                "category": cat,
+                "source": _SOURCES[sources[i]],
+                "product_line": f"line{lines[i]:02d}",
+                "deployed_at": float(deployed[i]),
+                "device_slot": int(slots[i]),
+                "action": ("repair_order" if cat == "d_fixing" else
+                           "mark_false_alarm" if cat == "d_falsealarm" else ""),
+                "operator_id": f"op{i % 37:02d}" if closed else "",
+                "op_time": float(times[i] + rt[i]) if closed else "",
+            }
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+def _stage_load(records):
+    numbered = ((i + 1, r) for i, r in enumerate(records))
+    return core_io.parse_records(numbered, strict=True, source="<bench>")
+
+
+def _stage_filter(dataset) -> int:
+    total = 0
+    failures = dataset.failures()
+    total += len(failures)
+    total += len(failures.of_component(ComponentClass.HDD))
+    total += len(dataset.of_idc("dc03"))
+    total += len(dataset.of_product_line("line01"))
+    total += len(dataset.of_source(DetectionSource.MANUAL))
+    times = dataset.error_times
+    mid = float(np.median(times)) if len(dataset) else 0.0
+    total += len(dataset.between(mid, mid + 30 * 86400.0))
+    total += len(dataset.where(dataset.positions < 20))
+    total += len(dataset.with_op_time())
+    return total
+
+
+def _stage_group(dataset) -> int:
+    total = 0
+    for groups in (
+        dataset.by_category(),
+        dataset.by_component(),
+        dataset.by_idc(),
+        dataset.by_product_line(),
+        dataset.by_failure_type(),
+        dataset.by_host(),
+    ):
+        total += len(groups)
+    total += len(dataset.sorted_by_time())
+    return total
+
+
+def _stage_report(dataset) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    try:
+        cats = overview.category_breakdown(dataset)
+        out["fixing_share"] = cats.fraction(FOTCategory.FIXING)
+        comp = overview.component_breakdown(dataset)
+        out["top_component"] = next(iter(comp)).value
+        out["sources"] = {
+            s.value: f for s, f in overview.detection_source_breakdown(dataset).items()
+        }
+        analysis = tbf.analyze_tbf(dataset)
+        out["mtbf_minutes"] = analysis.mtbf_minutes
+        out["summary"] = dataset.summary()
+        out["deduplicated"] = len(spatial.deduplicate_repeats(dataset))
+        out["quality_grade"] = DataQuality.assess(dataset).grade
+    except InsufficientDataError as exc:  # pragma: no cover - tiny tiers only
+        out["skipped"] = str(exc)
+    return out
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_tier(name: str, n: int, repeats: int) -> Dict[str, object]:
+    print(f"[{name}] generating {n} synthetic records ...", flush=True)
+    records = synth_records(n)
+
+    t0 = time.perf_counter()
+    dataset = _stage_load(records)
+    load_s = time.perf_counter() - t0
+
+    stages = {
+        "load": load_s,
+        "filter": _best_of(lambda: _stage_filter(dataset), repeats),
+        "group": _best_of(lambda: _stage_group(dataset), repeats),
+        "report": _best_of(lambda: _stage_report(dataset), repeats),
+    }
+    stages["total"] = sum(v for k, v in stages.items() if k != "total")
+    print(
+        f"[{name}] load {stages['load']:.3f}s  filter {stages['filter']:.3f}s  "
+        f"group {stages['group']:.3f}s  report {stages['report']:.3f}s",
+        flush=True,
+    )
+    return {"tickets": n, "stages": stages}
+
+
+# ----------------------------------------------------------------------
+# JSON trajectory file
+# ----------------------------------------------------------------------
+def load_json(path: Path) -> Dict[str, object]:
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {"schema": 1, "runs": {}}
+
+
+def update_json(path: Path, label: str, tiers: Dict[str, object]) -> None:
+    data = load_json(path)
+    runs = data.setdefault("runs", {})
+    entry = runs.setdefault(label, {"tiers": {}})
+    entry["python"] = platform.python_version()
+    entry["numpy"] = np.__version__
+    entry["tiers"].update(tiers)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"updated {path} [{label}: {', '.join(sorted(tiers))}]")
+
+
+def check_regression(
+    path: Path, tier: str, measured_report_s: float, max_regression: float
+) -> int:
+    data = load_json(path)
+    runs = data.get("runs", {})
+    reference = runs.get("current") or runs.get("baseline")
+    if not reference:
+        print(f"no reference numbers in {path}; skipping regression check")
+        return 0
+    ref = reference.get("tiers", {}).get(tier)
+    if not ref:
+        print(f"no reference tier {tier!r} in {path}; skipping regression check")
+        return 0
+    ref_s = float(ref["stages"]["report"])
+    ratio = measured_report_s / ref_s if ref_s > 0 else float("inf")
+    print(
+        f"regression check [{tier}]: report {measured_report_s:.3f}s vs "
+        f"checked-in {ref_s:.3f}s (x{ratio:.2f}, limit x{max_regression:.1f})"
+    )
+    if ratio > max_regression:
+        print("FAIL: full-report wall time regressed beyond the allowed factor")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--tiers", default="50k,290k",
+        help=f"comma-separated tiers to run (available: {', '.join(TIERS)})",
+    )
+    parser.add_argument(
+        "--label", default="current", choices=["baseline", "current"],
+        help="which slot of BENCH_perf.json to record into",
+    )
+    parser.add_argument("--json", default=str(DEFAULT_JSON), dest="json_path")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--no-update", action="store_true",
+        help="measure only; do not rewrite the JSON trajectory file",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare the first tier's report time against the checked-in "
+        "numbers and exit 1 on regression",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    tier_names = [t.strip() for t in args.tiers.split(",") if t.strip()]
+    unknown = [t for t in tier_names if t not in TIERS]
+    if unknown:
+        parser.error(f"unknown tiers: {unknown}; available: {sorted(TIERS)}")
+
+    json_path = Path(args.json_path)
+    results = {name: run_tier(name, TIERS[name], args.repeats) for name in tier_names}
+
+    if args.check:
+        first = tier_names[0]
+        measured = float(results[first]["stages"]["report"])
+        return check_regression(json_path, first, measured, args.max_regression)
+
+    if not args.no_update:
+        update_json(json_path, args.label, results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

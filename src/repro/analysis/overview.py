@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.core.dataset import FOTDataset
 from repro.core.failure_types import table_iii_rows
 from repro.core.types import ComponentClass, DetectionSource, FOTCategory
@@ -77,10 +79,11 @@ def detection_source_breakdown(dataset: FOTDataset) -> Dict[DetectionSource, flo
     """
     if len(dataset) == 0:
         raise InsufficientDataError("empty dataset")
-    counts: Dict[DetectionSource, int] = {src: 0 for src in DetectionSource}
-    for ticket in dataset:
-        counts[ticket.source] += 1
-    return {src: counts[src] / len(dataset) for src in counts}
+    counts = np.bincount(dataset.source_codes, minlength=len(DetectionSource))
+    return {
+        src: int(counts[code]) / len(dataset)
+        for code, src in enumerate(DetectionSource)
+    }
 
 
 def table_iii() -> List[Tuple[str, str, str]]:

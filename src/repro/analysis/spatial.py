@@ -16,7 +16,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.dataset import FOTDataset
-from repro.core.ticket import FOT
 from repro.fleet.inventory import Inventory
 from repro.robustness.quality import (
     DEFAULT_MAX_POSITION,
@@ -27,24 +26,72 @@ from repro.stats.chisquare import ChiSquareResult
 from repro.stats.hypotheses import test_rack_position_uniform
 
 
+#: Structured fallback key for the repeat-failure identity when the
+#: packed-int64 fast path would overflow (pathological slot ranges).
+_REPEAT_KEY_DTYPE = np.dtype(
+    [
+        ("host", np.int64),
+        ("component", np.int8),
+        ("slot", np.int64),
+        ("error_type", np.int32),
+    ]
+)
+
+
+def _first_occurrence_indices(columns) -> np.ndarray:
+    """Positions of the first row of each distinct column tuple, in
+    ascending position order.
+
+    Fast path: rank each column (dense codes), pack the ranks into one
+    int64 key and ``np.unique(return_index=True)`` it — much faster than
+    sorting a structured dtype with element-wise void comparisons.
+    """
+    ranked = []
+    radix = 1
+    overflow = False
+    for col in columns:
+        col = np.asarray(col)
+        inv = np.unique(col, return_inverse=True)[1].astype(np.int64)
+        width = int(inv.max()) + 1 if inv.size else 1
+        if radix > (2**62) // max(width, 1):
+            overflow = True
+            break
+        ranked.append((inv, width))
+        radix *= width
+    if not overflow:
+        key = np.zeros(len(np.asarray(columns[0])), dtype=np.int64)
+        for inv, width in ranked:
+            key = key * width + inv
+        _, first = np.unique(key, return_index=True)
+        return np.sort(first)
+    keys = np.empty(len(np.asarray(columns[0])), dtype=_REPEAT_KEY_DTYPE)
+    for name, col in zip(_REPEAT_KEY_DTYPE.names, columns):
+        keys[name] = col
+    _, first = np.unique(keys, return_index=True)
+    return np.sort(first)
+
+
 def deduplicate_repeats(dataset: FOTDataset) -> FOTDataset:
     """Keep only the first occurrence of each (host, component, slot,
     type) — the paper filters out repeating failures "to minimize their
-    impact on the statistics"."""
-    seen = set()
-    kept: List[FOT] = []
-    for ticket in dataset.failures().sorted_by_time():
-        key = (
-            ticket.host_id,
-            ticket.error_device,
-            ticket.device_slot,
-            ticket.error_type,
+    impact on the statistics".
+
+    Vectorized: one packed-key ``np.unique(return_index=True)`` over the
+    time-sorted failures replaces the per-ticket seen-set walk, and the
+    result is a zero-copy view.
+    """
+    subset = dataset.failures().sorted_by_time()
+    if len(subset) == 0:
+        return subset
+    first = _first_occurrence_indices(
+        (
+            subset.host_ids,
+            subset.component_codes,
+            subset.device_slots,
+            subset.error_type_codes,
         )
-        if key in seen:
-            continue
-        seen.add(key)
-        kept.append(ticket)
-    return FOTDataset(kept)
+    )
+    return subset.take(first)
 
 
 @dataclass(frozen=True)
@@ -122,14 +169,8 @@ def rack_position_profile(
     if filter_repeats:
         subset = deduplicate_repeats(subset)
     if granularity == "servers":
-        seen_hosts = set()
-        kept = []
-        for ticket in subset:
-            if ticket.host_id in seen_hosts:
-                continue
-            seen_hosts.add(ticket.host_id)
-            kept.append(ticket)
-        subset = FOTDataset(kept)
+        _, first = np.unique(subset.host_ids, return_index=True)
+        subset = subset.take(np.sort(first))
     servers = inventory.servers_per_position(idc)
     n_positions = max(int(subset.positions.max()) + 1, servers.size)
     servers = np.pad(servers, (0, n_positions - servers.size))

@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.analysis.batch import daily_counts
+from repro.core.columns import SOURCE_CODE
 from repro.core.dataset import FOTDataset
 from repro.core.timeutil import DAY
 from repro.core.types import ComponentClass, DetectionSource
@@ -73,11 +74,7 @@ def quarterly_trends(dataset: FOTDataset) -> TrendReport:
     quarter_of = (times // (QUARTER_DAYS * DAY)).astype(int)
     quarter_of = np.minimum(quarter_of, n_quarters - 1)
 
-    manual_flags = np.fromiter(
-        (t.source is DetectionSource.MANUAL for t in failures),
-        dtype=bool,
-        count=len(failures),
-    )
+    manual_flags = failures.source_codes == SOURCE_CODE[DetectionSource.MANUAL]
 
     daily = daily_counts(dataset, ComponentClass.HDD, n_days)
     for q in range(n_quarters):

@@ -1,176 +1,328 @@
 """The FOT dataset container every analysis consumes.
 
-:class:`FOTDataset` wraps an immutable sequence of :class:`~repro.core.ticket.FOT`
-records and exposes:
+:class:`FOTDataset` is a thin, immutable **view** over a
+:class:`~repro.core.columns.ColumnStore` (struct-of-arrays storage):
 
-* lazily-built **columnar numpy views** of the hot fields (timestamps,
-  category/component codes, host ids, rack positions, ...) so the
-  statistical analyses vectorize instead of looping over tickets, and
-* **filtering / grouping** helpers (`failures()`, `where()`,
-  `by_component()`, ...) that return new datasets sharing nothing mutable.
+* subsets (`failures()`, `where()`, `of_idc()`, ...) are index arrays
+  into the shared parent store — **no tickets are copied, and no
+  :class:`~repro.core.ticket.FOT` objects are allocated**;
+* columns of a view are fancy-indexed from the store lazily and
+  memoized, so the statistical analyses vectorize instead of looping;
+* group-bys (`by_component()`, `by_idc()`, ...) partition one stable
+  ``argsort`` into a dict of views, preserving first-appearance order;
+* ``FOT`` dataclasses materialize only on demand — iteration,
+  ``dataset[i]`` and the ``tickets`` property — and are memoized per
+  store row.
 
-The container is deliberately schema-first: a real ticket dump loaded via
-:mod:`repro.core.io` behaves identically to the synthetic trace.
+The container is deliberately schema-first: a real ticket dump loaded
+via :mod:`repro.core.io` behaves identically to the synthetic trace.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.columns import (
+    CATEGORY_CODE,
+    CATEGORY_ORDER,
+    COMPONENT_CODE,
+    COMPONENT_ORDER,
+    SOURCE_CODE,
+    SOURCE_ORDER,
+    ColumnStore,
+)
 from repro.core.ticket import FOT
 from repro.core.types import ComponentClass, DetectionSource, FOTCategory
 
-#: Stable integer coding for categorical columns.
-COMPONENT_ORDER: Sequence[ComponentClass] = tuple(ComponentClass)
-CATEGORY_ORDER: Sequence[FOTCategory] = tuple(FOTCategory)
-_COMPONENT_CODE = {c: i for i, c in enumerate(COMPONENT_ORDER)}
-_CATEGORY_CODE = {c: i for i, c in enumerate(CATEGORY_ORDER)}
+_COMPONENT_CODE = COMPONENT_CODE
+_CATEGORY_CODE = CATEGORY_CODE
 
 
 class FOTDataset:
-    """An immutable collection of FOTs with columnar accessors."""
+    """An immutable collection of FOTs with columnar accessors.
 
-    def __init__(self, tickets: Iterable[FOT]):
-        self._tickets: List[FOT] = list(tickets)
-        self._columns: Dict[str, np.ndarray] = {}
+    Constructing from an iterable of tickets wraps them in a fresh
+    store; every derived subset shares that store and only carries an
+    index array.  Use :meth:`from_store` to wrap a store built by a
+    :class:`~repro.core.columns.ColumnBuilder` (loaders, pipeline).
+    """
+
+    def __init__(self, tickets: "object" = ()):
+        self._store = ColumnStore.from_tickets(tickets)
+        self._indices: Optional[np.ndarray] = None
+        self._cols: Dict[str, np.ndarray] = {}
+        self._gind: Optional[np.ndarray] = None
+        self._tickets_memo: Optional[List[FOT]] = None
+
+    @classmethod
+    def from_store(
+        cls, store: ColumnStore, indices: Optional[np.ndarray] = None
+    ) -> "FOTDataset":
+        """A view of ``store``: all rows (``indices=None``) or the given
+        row index array."""
+        dataset = cls.__new__(cls)
+        dataset._store = store
+        if indices is None:
+            dataset._indices = None
+        else:
+            indices = np.asarray(indices, dtype=np.int64)
+            indices.setflags(write=False)
+            dataset._indices = indices
+        dataset._cols = {}
+        dataset._gind = None
+        dataset._tickets_memo = None
+        return dataset
+
+    # ------------------------------------------------------------------
+    # view plumbing
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ColumnStore:
+        """The shared column store backing this view (read-only)."""
+        return self._store
+
+    def _gindices(self) -> np.ndarray:
+        """Global store-row indices of this view."""
+        if self._indices is not None:
+            return self._indices
+        if self._gind is None:
+            gind = np.arange(self._store.n, dtype=np.int64)
+            gind.setflags(write=False)
+            self._gind = gind
+        return self._gind
+
+    def _view(self, rows: np.ndarray) -> "FOTDataset":
+        """A sibling view from *global* store rows."""
+        return FOTDataset.from_store(self._store, rows)
+
+    def _take_local(self, local_rows: np.ndarray) -> "FOTDataset":
+        """A sub-view from already-validated *local* positions."""
+        if self._indices is None:
+            rows = np.asarray(local_rows, dtype=np.int64)
+        else:
+            rows = self._indices[local_rows]
+        return self._view(rows)
+
+    def _col(self, name: str) -> np.ndarray:
+        array = self._cols.get(name)
+        if array is None:
+            base = self._store.column(name)
+            if self._indices is None:
+                array = base
+            else:
+                array = base[self._indices]
+                array.setflags(write=False)
+            self._cols[name] = array
+        return array
+
+    def _derived(self, name: str, build: Callable[[], np.ndarray]) -> np.ndarray:
+        array = self._cols.get(name)
+        if array is None:
+            array = build()
+            array.setflags(write=False)
+            self._cols[name] = array
+        return array
 
     # ------------------------------------------------------------------
     # basic container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._tickets)
+        if self._indices is None:
+            return self._store.n
+        return int(self._indices.size)
 
     def __iter__(self) -> Iterator[FOT]:
-        return iter(self._tickets)
+        store = self._store
+        if self._indices is None:
+            for row in range(store.n):
+                yield store.ticket(row)
+        else:
+            for row in self._indices:
+                yield store.ticket(int(row))
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return FOTDataset(self._tickets[index])
-        return self._tickets[index]
+            return self._view(self._gindices()[index])
+        row = int(index)
+        n = len(self)
+        if row < 0:
+            row += n
+        if not 0 <= row < n:
+            raise IndexError(f"index {index} out of range for dataset of {n}")
+        if self._indices is not None:
+            row = int(self._indices[row])
+        return self._store.ticket(row)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FOTDataset({len(self)} tickets)"
 
     @property
     def tickets(self) -> Sequence[FOT]:
-        """The underlying tickets (do not mutate)."""
-        return self._tickets
+        """The tickets of this view, materializing (and memoizing) them
+        on first access (do not mutate)."""
+        if self._tickets_memo is None:
+            self._tickets_memo = list(iter(self))
+        return self._tickets_memo
 
     # ------------------------------------------------------------------
     # columnar views
     # ------------------------------------------------------------------
-    def _column(self, name: str, build: Callable[[], np.ndarray]) -> np.ndarray:
-        col = self._columns.get(name)
-        if col is None:
-            col = build()
-            col.setflags(write=False)
-            self._columns[name] = col
-        return col
-
     @property
     def error_times(self) -> np.ndarray:
         """Failure detection timestamps, seconds since trace epoch."""
-        return self._column(
-            "error_times",
-            lambda: np.fromiter(
-                (t.error_time for t in self._tickets), dtype=float, count=len(self)
-            ),
-        )
+        return self._col("error_times")
 
     @property
     def op_times(self) -> np.ndarray:
         """Operator close timestamps; ``nan`` where the ticket has none."""
-        return self._column(
-            "op_times",
-            lambda: np.fromiter(
-                (
-                    np.nan if t.op_time is None else t.op_time
-                    for t in self._tickets
-                ),
-                dtype=float,
-                count=len(self),
-            ),
-        )
+        return self._col("op_times")
 
     @property
     def response_times(self) -> np.ndarray:
         """``op_time - error_time`` in seconds; ``nan`` where undefined."""
-        return self._column(
+        return self._derived(
             "response_times", lambda: self.op_times - self.error_times
         )
 
     @property
     def category_codes(self) -> np.ndarray:
         """Integer code per ticket, index into :data:`CATEGORY_ORDER`."""
-        return self._column(
-            "category_codes",
-            lambda: np.fromiter(
-                (_CATEGORY_CODE[t.category] for t in self._tickets),
-                dtype=np.int8,
-                count=len(self),
-            ),
-        )
+        return self._col("category_codes")
 
     @property
     def component_codes(self) -> np.ndarray:
         """Integer code per ticket, index into :data:`COMPONENT_ORDER`."""
-        return self._column(
-            "component_codes",
-            lambda: np.fromiter(
-                (_COMPONENT_CODE[t.error_device] for t in self._tickets),
-                dtype=np.int8,
-                count=len(self),
-            ),
-        )
+        return self._col("component_codes")
+
+    @property
+    def source_codes(self) -> np.ndarray:
+        """Integer code per ticket, index into :data:`SOURCE_ORDER`."""
+        return self._col("source_codes")
+
+    @property
+    def action_codes(self) -> np.ndarray:
+        """Integer code per ticket into the operator-action order; -1
+        where the ticket carries no action."""
+        return self._col("action_codes")
 
     @property
     def host_ids(self) -> np.ndarray:
-        return self._column(
-            "host_ids",
-            lambda: np.fromiter(
-                (t.host_id for t in self._tickets), dtype=np.int64, count=len(self)
-            ),
-        )
+        return self._col("host_ids")
+
+    @property
+    def fot_ids(self) -> np.ndarray:
+        return self._col("fot_ids")
 
     @property
     def positions(self) -> np.ndarray:
         """Rack slot numbers."""
-        return self._column(
-            "positions",
-            lambda: np.fromiter(
-                (t.error_position for t in self._tickets),
-                dtype=np.int32,
-                count=len(self),
-            ),
-        )
+        return self._col("positions")
+
+    @property
+    def device_slots(self) -> np.ndarray:
+        """Component slot index on the server."""
+        return self._col("device_slots")
 
     @property
     def deployed_ats(self) -> np.ndarray:
-        return self._column(
-            "deployed_ats",
-            lambda: np.fromiter(
-                (t.deployed_at for t in self._tickets), dtype=float, count=len(self)
-            ),
-        )
+        return self._col("deployed_ats")
+
+    @property
+    def idc_codes(self) -> np.ndarray:
+        """Interned data-center code per ticket (see :attr:`idc_table`)."""
+        return self._col("idc_codes")
+
+    @property
+    def product_line_codes(self) -> np.ndarray:
+        return self._col("product_line_codes")
+
+    @property
+    def error_type_codes(self) -> np.ndarray:
+        return self._col("error_type_codes")
+
+    @property
+    def operator_id_codes(self) -> np.ndarray:
+        """Interned operator-id code per ticket; -1 where absent."""
+        return self._col("operator_id_codes")
+
+    @property
+    def error_details(self) -> np.ndarray:
+        """Free-form detail strings (object column)."""
+        return self._col("error_details")
+
+    @property
+    def idc_table(self) -> Tuple[str, ...]:
+        """Interned data-center names, indexed by :attr:`idc_codes`."""
+        return self._store.table("idc")
+
+    @property
+    def product_line_table(self) -> Tuple[str, ...]:
+        return self._store.table("product_line")
+
+    @property
+    def error_type_table(self) -> Tuple[str, ...]:
+        return self._store.table("error_type")
 
     # ------------------------------------------------------------------
     # filtering
     # ------------------------------------------------------------------
     def where(self, mask: np.ndarray) -> "FOTDataset":
-        """Subset by boolean mask (vectorized filters build the mask from
-        the columnar views)."""
-        mask = np.asarray(mask, dtype=bool)
+        """Subset by boolean mask (vectorized filters build the mask
+        from the columnar views).  Integer index arrays are rejected —
+        use :meth:`take` for those."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_:
+            raise TypeError(
+                f"where() expects a boolean mask, got dtype {mask.dtype}; "
+                "use take(indices) to subset by integer positions"
+            )
         if mask.shape != (len(self),):
             raise ValueError(
                 f"mask shape {mask.shape} does not match dataset of {len(self)}"
             )
-        return FOTDataset([t for t, keep in zip(self._tickets, mask) if keep])
+        if self._indices is None:
+            rows = np.flatnonzero(mask)
+        else:
+            rows = self._indices[mask]
+        return self._view(rows)
+
+    def take(self, indices) -> "FOTDataset":
+        """Subset by integer positions (negative indices allowed),
+        preserving the given order."""
+        indices = np.asarray(indices)
+        if indices.dtype == np.bool_:
+            raise TypeError(
+                "take() expects integer indices; use where(mask) for boolean masks"
+            )
+        if indices.size == 0:
+            indices = indices.astype(np.int64)
+        elif not np.issubdtype(indices.dtype, np.integer):
+            raise TypeError(
+                f"take() expects integer indices, got dtype {indices.dtype}"
+            )
+        if indices.ndim != 1:
+            raise ValueError(
+                f"take() expects a 1-D index array, got shape {indices.shape}"
+            )
+        n = len(self)
+        local = indices.astype(np.int64, copy=True)
+        negative = local < 0
+        if negative.any():
+            local[negative] += n
+        if local.size and (local.min() < 0 or local.max() >= n):
+            raise IndexError(f"take() index out of range for dataset of {n}")
+        return self._take_local(local)
 
     def filter(self, predicate: Callable[[FOT], bool]) -> "FOTDataset":
-        """Subset by per-ticket predicate."""
-        return FOTDataset([t for t in self._tickets if predicate(t)])
+        """Subset by per-ticket predicate (materializes tickets; prefer
+        mask-based filters on the columns for hot paths)."""
+        n = len(self)
+        keep = np.fromiter(
+            (bool(predicate(t)) for t in self), dtype=bool, count=n
+        )
+        return self.where(keep)
 
     def failures(self) -> "FOTDataset":
         """Tickets in D_fixing or D_error — the paper's failure
@@ -185,13 +337,15 @@ class FOTDataset:
         return self.where(self.component_codes == _COMPONENT_CODE[component])
 
     def of_idc(self, idc: str) -> "FOTDataset":
-        return self.filter(lambda t: t.host_idc == idc)
+        code = self._store.code_for("idc", idc)
+        return self.where(self.idc_codes == code)
 
     def of_product_line(self, line: str) -> "FOTDataset":
-        return self.filter(lambda t: t.product_line == line)
+        code = self._store.code_for("product_line", line)
+        return self.where(self.product_line_codes == code)
 
     def of_source(self, source: DetectionSource) -> "FOTDataset":
-        return self.filter(lambda t: t.source is source)
+        return self.where(self.source_codes == SOURCE_CODE[source])
 
     def between(self, start: float, end: float) -> "FOTDataset":
         """Tickets with ``start <= error_time < end``."""
@@ -200,7 +354,7 @@ class FOTDataset:
 
     def sorted_by_time(self) -> "FOTDataset":
         order = np.argsort(self.error_times, kind="stable")
-        return FOTDataset([self._tickets[i] for i in order])
+        return self._take_local(order)
 
     def with_op_time(self) -> "FOTDataset":
         """Tickets carrying an operator close time (RT is defined)."""
@@ -210,44 +364,95 @@ class FOTDataset:
         """Boolean mask flagging stateless-FMS re-open suspects: tickets
         on the same physical component within ``window_seconds`` of the
         previous ticket on that component (the §VII-B pathology).  Drop
-        them with ``dataset.where(~mask)``."""
-        mask = np.zeros(len(self), dtype=bool)
-        order = np.argsort(self.error_times, kind="stable")
-        last_seen: Dict[tuple, float] = {}
-        for idx in order:
-            ticket = self._tickets[idx]
-            prev = last_seen.get(ticket.component_key)
-            if prev is not None and ticket.error_time - prev <= window_seconds:
-                mask[idx] = True
-            last_seen[ticket.component_key] = ticket.error_time
+        them with ``dataset.where(~mask)``.
+
+        Vectorized: one lexsort over (component key, time) and a
+        consecutive-gap comparison replace the per-ticket dict walk.
+        """
+        n = len(self)
+        mask = np.zeros(n, dtype=bool)
+        if n < 2:
+            return mask
+        times = self.error_times
+        # Sort by component key, then time, then original position — the
+        # same visit order as iterating tickets in stable time order and
+        # tracking the previous ticket per component key.
+        perm = np.lexsort(
+            (
+                np.arange(n),
+                times,
+                self.device_slots,
+                self.component_codes,
+                self.host_ids,
+            )
+        )
+        host_s = self.host_ids[perm]
+        comp_s = self.component_codes[perm]
+        slot_s = self.device_slots[perm]
+        time_s = times[perm]
+        same_key = (
+            (host_s[1:] == host_s[:-1])
+            & (comp_s[1:] == comp_s[:-1])
+            & (slot_s[1:] == slot_s[:-1])
+        )
+        close = (time_s[1:] - time_s[:-1]) <= window_seconds
+        mask[perm[1:][same_key & close]] = True
         return mask
 
     # ------------------------------------------------------------------
     # grouping
     # ------------------------------------------------------------------
-    def _group_by_key(self, key: Callable[[FOT], object]) -> Dict[object, "FOTDataset"]:
-        buckets: Dict[object, List[FOT]] = {}
-        for ticket in self._tickets:
-            buckets.setdefault(key(ticket), []).append(ticket)
-        return {k: FOTDataset(v) for k, v in buckets.items()}
+    def _grouped(self, values: np.ndarray) -> List[Tuple[int, "FOTDataset"]]:
+        """Partition this view by an integer key column with a single
+        stable argsort; groups come back in first-appearance order and
+        each keeps its tickets in original view order."""
+        values = np.asarray(values)
+        n = values.size
+        if n == 0:
+            return []
+        order = np.argsort(values, kind="stable")
+        ordered = values[order]
+        bounds = np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [n]))
+        groups = sorted(
+            ((int(ordered[s]), order[s:e]) for s, e in zip(starts, ends)),
+            key=lambda group: int(group[1][0]),
+        )
+        return [(key, self._take_local(rows)) for key, rows in groups]
 
     def by_component(self) -> Dict[ComponentClass, "FOTDataset"]:
-        return self._group_by_key(lambda t: t.error_device)
+        return {
+            COMPONENT_ORDER[code]: view
+            for code, view in self._grouped(self.component_codes)
+        }
 
     def by_category(self) -> Dict[FOTCategory, "FOTDataset"]:
-        return self._group_by_key(lambda t: t.category)
+        return {
+            CATEGORY_ORDER[code]: view
+            for code, view in self._grouped(self.category_codes)
+        }
 
     def by_idc(self) -> Dict[str, "FOTDataset"]:
-        return self._group_by_key(lambda t: t.host_idc)
+        table = self.idc_table
+        return {table[code]: view for code, view in self._grouped(self.idc_codes)}
 
     def by_product_line(self) -> Dict[str, "FOTDataset"]:
-        return self._group_by_key(lambda t: t.product_line)
+        table = self.product_line_table
+        return {
+            table[code]: view
+            for code, view in self._grouped(self.product_line_codes)
+        }
 
     def by_host(self) -> Dict[int, "FOTDataset"]:
-        return self._group_by_key(lambda t: t.host_id)
+        return {code: view for code, view in self._grouped(self.host_ids)}
 
     def by_failure_type(self) -> Dict[str, "FOTDataset"]:
-        return self._group_by_key(lambda t: t.error_type)
+        table = self.error_type_table
+        return {
+            table[code]: view
+            for code, view in self._grouped(self.error_type_codes)
+        }
 
     # ------------------------------------------------------------------
     # summaries
@@ -255,12 +460,14 @@ class FOTDataset:
     @property
     def idcs(self) -> List[str]:
         """Distinct data-center names, sorted."""
-        return sorted({t.host_idc for t in self._tickets})
+        table = self.idc_table
+        return sorted(table[code] for code in np.unique(self.idc_codes))
 
     @property
     def product_lines(self) -> List[str]:
         """Distinct product-line names, sorted."""
-        return sorted({t.product_line for t in self._tickets})
+        table = self.product_line_table
+        return sorted(table[code] for code in np.unique(self.product_line_codes))
 
     @property
     def span_seconds(self) -> float:
@@ -271,7 +478,19 @@ class FOTDataset:
         return float(times.max() - times.min())
 
     def concat(self, other: "FOTDataset") -> "FOTDataset":
-        return FOTDataset(list(self._tickets) + list(other._tickets))
+        """Concatenate two datasets.  Views of the same store just join
+        their index arrays; distinct stores are merged column-wise
+        (string tables re-interned) — neither path allocates tickets."""
+        if self._store is other._store:
+            rows = np.concatenate([self._gindices(), other._gindices()])
+            return self._view(rows)
+        store = ColumnStore.concatenate(
+            [
+                (self._store, self._gindices()),
+                (other._store, other._gindices()),
+            ]
+        )
+        return FOTDataset.from_store(store)
 
     def summary(self) -> Dict[str, object]:
         """Cheap headline numbers, mostly for logging and the CLI."""
@@ -285,4 +504,9 @@ class FOTDataset:
         }
 
 
-__all__ = ["FOTDataset", "COMPONENT_ORDER", "CATEGORY_ORDER"]
+__all__ = [
+    "FOTDataset",
+    "COMPONENT_ORDER",
+    "CATEGORY_ORDER",
+    "SOURCE_ORDER",
+]

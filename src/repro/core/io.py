@@ -40,13 +40,13 @@ from typing import (
     Dict,
     Iterable,
     Iterator,
-    List,
     NamedTuple,
     Optional,
     Tuple,
     Union,
 )
 
+from repro.core.columns import ColumnBuilder
 from repro.core.dataset import FOTDataset
 from repro.core.ticket import FOT
 from repro.core.types import (
@@ -289,10 +289,15 @@ def _ticket_to_record(ticket: FOT, include_detail: bool) -> Dict[str, object]:
     return record
 
 
-def _build_ticket(record: Dict[str, object], repairs: Optional[_Repairs]) -> FOT:
-    """Parse one record into an FOT, raising :class:`RowError` on any
-    unrecoverable defect.  With ``repairs`` set (quarantining mode) the
-    recoverable defects are repaired in place and recorded."""
+def _parse_fields(
+    record: Dict[str, object], repairs: Optional[_Repairs]
+) -> Dict[str, object]:
+    """Parse one record into validated FOT field values, raising
+    :class:`RowError` on any unrecoverable defect.  With ``repairs`` set
+    (quarantining mode) the recoverable defects are repaired in place
+    and recorded.  The returned dict feeds either ``FOT(**fields)`` or
+    :meth:`~repro.core.columns.ColumnBuilder.append` — the loaders use
+    the latter, building columns directly without intermediate tickets."""
     error_time = _parse_timestamp(_require(record, "error_time"), "error_time", repairs)
     if error_time < 0:
         raise RowError(
@@ -324,7 +329,7 @@ def _build_ticket(record: Dict[str, object], repairs: Optional[_Repairs]) -> FOT
         device_slot = 0
 
     action_raw = record.get("action") or ""
-    return FOT(
+    return dict(
         fot_id=_parse_int(_require(record, "fot_id"), "fot_id"),
         host_id=_parse_int(_require(record, "host_id"), "host_id"),
         hostname=str(_require(record, "hostname")),
@@ -358,6 +363,11 @@ def _build_ticket(record: Dict[str, object], repairs: Optional[_Repairs]) -> FOT
     )
 
 
+def _build_ticket(record: Dict[str, object], repairs: Optional[_Repairs]) -> FOT:
+    """Parse one record into an FOT (single-ticket convenience path)."""
+    return FOT(**_parse_fields(record, repairs))  # type: ignore[arg-type]
+
+
 def _record_to_ticket(record: Dict[str, object], line: int) -> FOT:
     """Strict single-record parse (kept for backwards compatibility)."""
     try:
@@ -384,20 +394,29 @@ def parse_records(
     """
     if report is None:
         report = QuarantineReport(source)
-    tickets: List[FOT] = []
+    builder = ColumnBuilder()
     for line_no, record in numbered:
         if strict:
-            tickets.append(_record_to_ticket(record, line_no))
+            try:
+                builder.append(**_parse_fields(record, repairs=None))
+            except RowError as exc:
+                raise ValueError(
+                    f"line {line_no}: malformed ticket record: {exc}"
+                ) from exc
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"line {line_no}: malformed ticket record: {exc}"
+                ) from exc
             continue
         repairs = _Repairs(report, line_no)
         try:
-            tickets.append(_build_ticket(record, repairs))
+            builder.append(**_parse_fields(record, repairs))
         except RowError as exc:
             report.record_skip(line_no, exc.error_class, str(exc), exc.field)
         except (KeyError, TypeError, ValueError) as exc:
             report.record_skip(line_no, q.BAD_NUMBER, str(exc))
-    report.n_loaded += len(tickets)
-    dataset = FOTDataset(tickets)
+    report.n_loaded += len(builder)
+    dataset = FOTDataset.from_store(builder.build())
     if strict:
         return dataset
     return LoadResult(dataset, report)

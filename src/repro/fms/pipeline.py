@@ -18,8 +18,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.columns import ColumnBuilder
 from repro.core.dataset import FOTDataset
-from repro.core.ticket import FOT
 from repro.core.types import (
     ComponentClass,
     FOTCategory,
@@ -130,7 +130,7 @@ class FMSPipeline:
         for raw in raw_events:
             queue.schedule(raw.time, raw)
 
-        tickets: List[FOT] = []
+        builder = ColumnBuilder()
         fot_id = 0
         next_chain = 0
         chain_lengths: Dict[int, int] = {}
@@ -184,27 +184,25 @@ class FMSPipeline:
                 )
                 self.stats["repairs"] += 1
 
-            tickets.append(
-                FOT(
-                    fot_id=fot_id,
-                    host_id=server.host_id,
-                    hostname=server.hostname,
-                    host_idc=server.idc,
-                    error_device=component,
-                    error_type=error_type,
-                    error_time=time,
-                    error_position=server.position,
-                    error_detail=device_detail(component, raw.slot),
-                    category=category,
-                    source=source,
-                    product_line=server.product_line,
-                    deployed_at=server.deployed_at,
-                    device_slot=raw.slot,
-                    action=action,
-                    operator_id=operator_id,
-                    op_time=op_time,
-                    detail=detail,
-                )
+            builder.append(
+                fot_id=fot_id,
+                host_id=server.host_id,
+                hostname=server.hostname,
+                host_idc=server.idc,
+                error_device=component,
+                error_type=error_type,
+                error_time=time,
+                error_position=server.position,
+                error_detail=device_detail(component, raw.slot),
+                category=category,
+                source=source,
+                product_line=server.product_line,
+                deployed_at=server.deployed_at,
+                device_slot=raw.slot,
+                action=action,
+                operator_id=operator_id,
+                op_time=op_time,
+                detail=detail,
             )
             fot_id += 1
 
@@ -256,7 +254,7 @@ class FMSPipeline:
                             ),
                         )
 
-        return FOTDataset(tickets)
+        return FOTDataset.from_store(builder.build())
 
 
 __all__ = ["FMSPipeline", "device_detail"]

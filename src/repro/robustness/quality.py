@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.columns import CATEGORY_CODE
 from repro.core.dataset import FOTDataset
 from repro.core.types import FOTCategory
 
@@ -119,21 +120,45 @@ class DataQuality:
           ``[0, max_position]``.
         """
         n = len(dataset)
-        closed_cats = (FOTCategory.FIXING, FOTCategory.FALSE_ALARM)
-        closed = [t for t in dataset if t.category in closed_cats]
+        cat_codes = dataset.category_codes
+        closed_mask = (cat_codes == CATEGORY_CODE[FOTCategory.FIXING]) | (
+            cat_codes == CATEGORY_CODE[FOTCategory.FALSE_ALARM]
+        )
+        n_closed = int(closed_mask.sum())
         coverage: Dict[str, FieldCoverage] = {}
 
-        def cov(name: str, values) -> None:
-            present = sum(1 for v in values if v not in (None, ""))
-            total = len(values)
+        def cov(name: str, present: int, total: int) -> None:
             coverage[name] = FieldCoverage(name, present, total - present)
 
-        cov("op_time", [t.op_time for t in closed])
-        cov("action", [t.action for t in closed])
-        cov("operator_id", [t.operator_id for t in closed])
-        cov("error_detail", [t.error_detail for t in dataset])
-        cov("product_line", [t.product_line for t in dataset])
-        cov("host_idc", [t.host_idc for t in dataset])
+        def interned_present(codes: np.ndarray, table_name: str) -> np.ndarray:
+            # "Usable" means neither missing (-1) nor the empty string,
+            # matching the row-first ``v not in (None, "")`` check.
+            empty = dataset.store.code_for(table_name, "")
+            return (codes >= 0) & (codes != empty)
+
+        cov("op_time", int((~np.isnan(dataset.op_times[closed_mask])).sum()), n_closed)
+        cov("action", int((dataset.action_codes[closed_mask] >= 0).sum()), n_closed)
+        cov(
+            "operator_id",
+            int(
+                interned_present(
+                    dataset.operator_id_codes[closed_mask], "operator_id"
+                ).sum()
+            ),
+            n_closed,
+        )
+        details = dataset.error_details
+        cov(
+            "error_detail",
+            int((np.not_equal(details, None) & np.not_equal(details, "")).sum()),
+            n,
+        )
+        cov(
+            "product_line",
+            int(interned_present(dataset.product_line_codes, "product_line").sum()),
+            n,
+        )
+        cov("host_idc", int(interned_present(dataset.idc_codes, "idc").sum()), n)
 
         duplicates = (
             int(dataset.duplicate_suspect_mask(duplicate_window_seconds).sum())
@@ -153,7 +178,7 @@ class DataQuality:
             duplicate_suspects=duplicates,
             out_of_range_positions=out_of_range,
         )
-        quality._derive_warnings(len(closed))
+        quality._derive_warnings(n_closed)
         return quality
 
     def _derive_warnings(self, n_closed: int) -> None:

@@ -47,7 +47,9 @@ class SyntheticTrace:
     """A generated trace plus everything needed to analyze it.
 
     Attributes:
-        dataset: The FOTs, time-ordered.
+        dataset: The FOTs, time-ordered.  Built columnar by the FMS
+            pipeline (``ColumnBuilder``) — no ``FOT`` objects are
+            allocated unless the trace is iterated ticket-by-ticket.
         fleet: The full fleet object graph.
         inventory: Per-server metadata table (analysis denominators).
         config: The scenario that produced the trace.

@@ -77,14 +77,18 @@ def test_tbf_family(
     family: type,
     *,
     label: str = "",
+    gaps: Optional[np.ndarray] = None,
 ) -> ChiSquareResult:
     """Hypothesis 3 for one family: TBF of all components in the dataset
     follows ``family`` (parameters MLE-fitted first, per Section II-B).
 
     Raises :class:`~repro.stats.distributions.FitError` when the family
-    cannot be fitted to the sample at all.
+    cannot be fitted to the sample at all.  Pass precomputed ``gaps``
+    (as from :func:`_tbf`) to test several families without re-deriving
+    the sample each time.
     """
-    gaps = _tbf(dataset)
+    if gaps is None:
+        gaps = _tbf(dataset)
     dist: Distribution = family.fit(gaps)
     return chi_square_fit(
         gaps,
@@ -98,11 +102,16 @@ def test_tbf_all_families(
     families: Sequence[type] = TBF_FAMILIES,
 ) -> Dict[str, ChiSquareResult]:
     """Hypothesis 3 across every candidate family; families whose MLE
-    fails on this sample are skipped."""
+    fails on this sample are skipped.  The TBF sample is derived once
+    and shared across the family fits."""
     results: Dict[str, ChiSquareResult] = {}
+    try:
+        gaps = _tbf(dataset)
+    except ValueError:
+        return results
     for family in families:
         try:
-            results[family.name] = test_tbf_family(dataset, family)
+            results[family.name] = test_tbf_family(dataset, family, gaps=gaps)
         except (FitError, ValueError):
             continue
     return results

@@ -68,69 +68,67 @@ def gammaln(x):
     return out[0] if scalar else out
 
 
-def _gser(a: float, x: float) -> float:
-    """Lower incomplete gamma P(a, x) by power series (x < a + 1)."""
-    if x <= 0.0:
-        return 0.0
-    ap = a
+def _gser(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Lower incomplete gamma P(a, x) by power series (x < a + 1),
+    vectorized with a per-element convergence mask."""
+    ap = a.astype(float).copy()
     term = 1.0 / a
-    total = term
+    total = term.copy()
+    active = x > 0.0
     for _ in range(_MAX_ITER):
-        ap += 1.0
-        term *= x / ap
-        total += term
-        if abs(term) < abs(total) * _EPS:
+        if not active.any():
             break
-    return total * np.exp(-x + a * np.log(x) - float(gammaln(a)))
+        ap[active] += 1.0
+        term[active] *= x[active] / ap[active]
+        total[active] += term[active]
+        active = active & (np.abs(term) >= np.abs(total) * _EPS)
+    return total * np.exp(-x + a * np.log(np.where(x > 0, x, 1.0)) - gammaln(a))
 
 
-def _gcf(a: float, x: float) -> float:
+def _gcf(a: np.ndarray, x: np.ndarray) -> np.ndarray:
     """Upper incomplete gamma Q(a, x) by Lentz continued fraction
-    (x >= a + 1)."""
+    (x >= a + 1), vectorized with a per-element convergence mask."""
     tiny = 1e-300
     b = x + 1.0 - a
-    c = 1.0 / tiny
+    c = np.full_like(b, 1.0 / tiny)
     d = 1.0 / b
-    h = d
+    h = d.copy()
+    active = np.ones(b.shape, dtype=bool)
     for i in range(1, _MAX_ITER + 1):
+        if not active.any():
+            break
         an = -i * (i - a)
-        b += 2.0
+        b = b + 2.0
         d = an * d + b
-        if abs(d) < tiny:
-            d = tiny
+        d = np.where(np.abs(d) < tiny, tiny, d)
         c = b + an / c
-        if abs(c) < tiny:
-            c = tiny
+        c = np.where(np.abs(c) < tiny, tiny, c)
         d = 1.0 / d
         delta = d * c
-        h *= delta
-        if abs(delta - 1.0) < _EPS:
-            break
-    return h * np.exp(-x + a * np.log(x) - float(gammaln(a)))
-
-
-def _gammainc_scalar(a: float, x: float) -> float:
-    if x < 0.0:
-        raise ValueError("gammainc requires x >= 0")
-    if a <= 0.0:
-        raise ValueError("gammainc requires a > 0")
-    if x == 0.0:
-        return 0.0
-    if x < a + 1.0:
-        return min(1.0, _gser(a, x))
-    return max(0.0, 1.0 - _gcf(a, x))
+        h = np.where(active, h * delta, h)
+        active = active & (np.abs(delta - 1.0) >= _EPS)
+    return h * np.exp(-x + a * np.log(x) - gammaln(a))
 
 
 def gammainc_lower(a, x):
-    """Regularized lower incomplete gamma function ``P(a, x)``."""
+    """Regularized lower incomplete gamma function ``P(a, x)``,
+    fully vectorized: series elements (``x < a + 1``) and continued-
+    fraction elements are iterated as masked batches."""
     a_arr = np.asarray(a, dtype=float)
     x_arr = np.asarray(x, dtype=float)
+    if np.any(x_arr < 0.0):
+        raise ValueError("gammainc requires x >= 0")
+    if np.any(a_arr <= 0.0):
+        raise ValueError("gammainc requires a > 0")
     scalar = a_arr.ndim == 0 and x_arr.ndim == 0
     a_b, x_b = np.broadcast_arrays(np.atleast_1d(a_arr), np.atleast_1d(x_arr))
-    out = np.empty(a_b.shape, dtype=float)
-    flat_a, flat_x, flat_out = a_b.ravel(), x_b.ravel(), out.ravel()
-    for i in range(flat_a.size):
-        flat_out[i] = _gammainc_scalar(float(flat_a[i]), float(flat_x[i]))
+    out = np.zeros(a_b.shape, dtype=float)
+    series = (x_b > 0.0) & (x_b < a_b + 1.0)
+    if series.any():
+        out[series] = np.minimum(1.0, _gser(a_b[series], x_b[series]))
+    tail = x_b >= a_b + 1.0
+    if tail.any():
+        out[tail] = np.maximum(0.0, 1.0 - _gcf(a_b[tail], x_b[tail]))
     return float(out.ravel()[0]) if scalar else out
 
 

@@ -96,6 +96,40 @@ class TestFiltering:
         with pytest.raises(ValueError, match="mask shape"):
             mixed_dataset.where(np.ones(5, dtype=bool))
 
+    def test_where_rejects_integer_indices(self, mixed_dataset):
+        # An int index array silently coerced to bool used to return
+        # garbage; it must be a loud error pointing at take().
+        with pytest.raises(TypeError, match="take"):
+            mixed_dataset.where(np.array([0, 2]))
+
+    def test_where_rejects_float_mask(self, mixed_dataset):
+        with pytest.raises(TypeError, match="boolean mask"):
+            mixed_dataset.where(np.array([1.0, 0.0, 1.0]))
+
+    def test_take_by_positions(self, mixed_dataset):
+        subset = mixed_dataset.take(np.array([2, 0]))
+        assert [t.fot_id for t in subset] == [2, 0]
+
+    def test_take_list_and_negative(self, mixed_dataset):
+        assert [t.fot_id for t in mixed_dataset.take([-1, 0])] == [2, 0]
+
+    def test_take_empty(self, mixed_dataset):
+        assert len(mixed_dataset.take([])) == 0
+
+    def test_take_out_of_range(self, mixed_dataset):
+        with pytest.raises(IndexError):
+            mixed_dataset.take([3])
+        with pytest.raises(IndexError):
+            mixed_dataset.take([-4])
+
+    def test_take_rejects_bool_mask(self, mixed_dataset):
+        with pytest.raises(TypeError, match="where"):
+            mixed_dataset.take(np.array([True, False, True]))
+
+    def test_take_composes_with_where(self, mixed_dataset):
+        subset = mixed_dataset.where(mixed_dataset.error_times > 60)
+        assert [t.fot_id for t in subset.take([1, 0])] == [2, 0]
+
     def test_filter_predicate(self, mixed_dataset):
         assert len(mixed_dataset.filter(lambda t: t.host_id == 1)) == 2
 

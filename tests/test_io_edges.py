@@ -169,7 +169,7 @@ class _ExplodingDataset(FOTDataset):
     """Yields one ticket, then dies — models a crash mid-save."""
 
     def __iter__(self):
-        yield self._tickets[0]
+        yield self[0]
         raise RuntimeError("simulated crash mid-write")
 
 
