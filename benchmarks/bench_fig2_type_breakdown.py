@@ -15,7 +15,7 @@ FIG2_CLASSES = (
 
 def _all_breakdowns(dataset):
     return {
-        cls: overview.failure_type_breakdown(dataset, cls)
+        cls: overview.failure_types(dataset, cls)
         for cls in FIG2_CLASSES
     }
 

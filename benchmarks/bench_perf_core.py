@@ -20,6 +20,20 @@ Stages timed per tier:
   overview breakdowns, TBF fits, ``summary()``, repeat deduplication
   and the :class:`~repro.robustness.quality.DataQuality` assessment.
 
+With ``--engine``, each tier additionally exercises the
+:mod:`repro.engine` execution layer against the *real* simulation
+(tier -> scenario scale), recording:
+
+* ``gen_serial`` / ``gen_parallel`` — trace generation at ``jobs=1``
+  vs. ``--jobs N`` (sharded output is checked column-for-column against
+  serial; ``--check-equivalence`` turns a mismatch into a failure);
+* ``report_cold`` / ``report_warm`` — the full paper report through a
+  cold vs. warmed :class:`~repro.engine.cache.AnalysisCache`
+  (``--min-cache-speedup X`` turns an insufficient warm-cache speedup
+  into a failure; ``--min-gen-speedup X`` does the same for sharded
+  generation, skipped automatically when the machine has fewer cores
+  than ``--jobs``).
+
 Usage::
 
     # record the current implementation at two tiers
@@ -29,12 +43,18 @@ Usage::
     # CI regression gate: fresh 50k run vs. the checked-in numbers
     PYTHONPATH=src python benchmarks/bench_perf_core.py \
         --tiers 50k --check --max-regression 2.0
+
+    # CI engine gate: sharded equivalence + warm-cache speedup
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --tiers 50k --engine --engine-scale 0.02 --jobs 2 --no-update \
+        --check-equivalence --min-cache-speedup 5.0
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -52,6 +72,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO_ROOT / "BENCH_perf.json"
 
 TIERS: Dict[str, int] = {"50k": 50_000, "290k": 290_000, "1m": 1_000_000}
+
+#: ``--engine`` scenario scale per tier: the paper scenario producing
+#: roughly the tier's ticket volume through the real simulation.
+ENGINE_SCALES: Dict[str, float] = {"50k": 0.175, "290k": 1.0, "1m": 1.0}
 
 _CATEGORIES = ["d_fixing", "d_error", "d_falsealarm"]
 _CATEGORY_P = [0.703, 0.280, 0.017]
@@ -157,12 +181,12 @@ def _stage_group(dataset) -> int:
 def _stage_report(dataset) -> Dict[str, object]:
     out: Dict[str, object] = {}
     try:
-        cats = overview.category_breakdown(dataset)
+        cats = overview.categories(dataset)
         out["fixing_share"] = cats.fraction(FOTCategory.FIXING)
-        comp = overview.component_breakdown(dataset)
+        comp = overview.components(dataset)
         out["top_component"] = next(iter(comp)).value
         out["sources"] = {
-            s.value: f for s, f in overview.detection_source_breakdown(dataset).items()
+            s.value: f for s, f in overview.detection_sources(dataset).items()
         }
         analysis = tbf.analyze_tbf(dataset)
         out["mtbf_minutes"] = analysis.mtbf_minutes
@@ -204,6 +228,132 @@ def run_tier(name: str, n: int, repeats: int) -> Dict[str, object]:
         flush=True,
     )
     return {"tickets": n, "stages": stages}
+
+
+# ----------------------------------------------------------------------
+# engine stages: sharded generation + analysis cache
+# ----------------------------------------------------------------------
+def _traces_identical(left, right) -> bool:
+    from repro.core.columns import COLUMN_NAMES, TABLE_NAMES
+
+    ls, rs = left.dataset.store, right.dataset.store
+    if ls.n != rs.n or left.fms_stats != right.fms_stats:
+        return False
+    for name in TABLE_NAMES:
+        if ls.table(name) != rs.table(name):
+            return False
+    for name in COLUMN_NAMES:
+        lcol, rcol = ls.column(name), rs.column(name)
+        if lcol.dtype == object:
+            if list(lcol) != list(rcol):
+                return False
+        # equal_nan: op_times is NaN for still-open tickets.
+        elif not np.array_equal(
+            lcol, rcol, equal_nan=lcol.dtype.kind == "f"
+        ):
+            return False
+    return True
+
+
+def _engine_config(name: str, scale_override):
+    from repro.config import ScenarioConfig, paper_scenario
+
+    if scale_override is not None:
+        return paper_scenario(scale=scale_override)
+    if name == "1m":
+        # The paper scenario caps at scale 1.0 (~290k tickets); the 1M
+        # tier raises the failure budget on the same fleet instead.
+        return ScenarioConfig(target_failures=1_000_000)
+    return paper_scenario(scale=ENGINE_SCALES[name])
+
+
+def run_engine_tier(
+    name: str, jobs: int, repeats: int, scale_override=None
+) -> Dict[str, object]:
+    from repro.analysis.full_report import full_report
+    from repro.engine import AnalysisCache
+    from repro.simulation.trace import generate_trace
+
+    config = _engine_config(name, scale_override)
+    print(f"[{name}] engine: generating trace (scale {config.scale}, "
+          f"target {config.scaled_target_failures}) ...", flush=True)
+
+    t0 = time.perf_counter()
+    serial = generate_trace(config, jobs=1)
+    gen_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = generate_trace(config, jobs=jobs)
+    gen_parallel = time.perf_counter() - t0
+
+    equivalent = _traces_identical(serial, parallel)
+    dataset = serial.dataset
+
+    cache = AnalysisCache()
+    t0 = time.perf_counter()
+    full_report(dataset, cache=cache)
+    report_cold = time.perf_counter() - t0
+    report_warm = _best_of(lambda: full_report(dataset, cache=cache), repeats)
+
+    out = {
+        "tickets": len(dataset),
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "gen_serial": gen_serial,
+        "gen_parallel": gen_parallel,
+        "equivalent": equivalent,
+        "report_cold": report_cold,
+        "report_warm": report_warm,
+    }
+    print(
+        f"[{name}] engine: gen {gen_serial:.2f}s serial / {gen_parallel:.2f}s "
+        f"jobs={jobs} ({'identical' if equivalent else 'MISMATCH'})  "
+        f"report {report_cold:.3f}s cold / {report_warm:.3f}s warm "
+        f"(x{report_cold / max(report_warm, 1e-9):.1f})",
+        flush=True,
+    )
+    return out
+
+
+def check_engine(results, *, check_equivalence, min_cache_speedup,
+                 min_gen_speedup, jobs) -> int:
+    """Gate on the engine invariants; returns a non-zero exit on failure."""
+    failures = 0
+    cpus = os.cpu_count() or 1
+    for name, tier in results.items():
+        engine = tier.get("engine")
+        if not engine:
+            continue
+        if check_equivalence and not engine["equivalent"]:
+            print(f"FAIL [{name}]: sharded trace differs from serial")
+            failures += 1
+        if min_cache_speedup:
+            ratio = engine["report_cold"] / max(engine["report_warm"], 1e-9)
+            if ratio < min_cache_speedup:
+                print(
+                    f"FAIL [{name}]: warm-cache report speedup x{ratio:.1f} "
+                    f"below the required x{min_cache_speedup:.1f}"
+                )
+                failures += 1
+            else:
+                print(f"OK [{name}]: warm-cache speedup x{ratio:.1f}")
+        if min_gen_speedup:
+            if cpus < jobs:
+                print(
+                    f"skip [{name}]: gen-speedup check needs >= {jobs} cores, "
+                    f"machine has {cpus}"
+                )
+            else:
+                ratio = engine["gen_serial"] / max(engine["gen_parallel"], 1e-9)
+                if ratio < min_gen_speedup:
+                    print(
+                        f"FAIL [{name}]: sharded generation speedup "
+                        f"x{ratio:.2f} below the required x{min_gen_speedup:.1f}"
+                    )
+                    failures += 1
+                else:
+                    print(f"OK [{name}]: sharded generation speedup x{ratio:.2f}")
+    return 1 if failures else 0
 
 
 # ----------------------------------------------------------------------
@@ -274,6 +424,34 @@ def main(argv=None) -> int:
         "numbers and exit 1 on regression",
     )
     parser.add_argument("--max-regression", type=float, default=2.0)
+    parser.add_argument(
+        "--engine", action="store_true",
+        help="also run the repro.engine stages (sharded generation through "
+        "the real simulation + analysis-cache report) per tier",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker processes for the sharded-generation stage (default 4)",
+    )
+    parser.add_argument(
+        "--engine-scale", type=float, default=None,
+        help="override the engine scenario scale (e.g. 0.02 for a quick "
+        "CI smoke) instead of the tier's calibrated scale",
+    )
+    parser.add_argument(
+        "--check-equivalence", action="store_true",
+        help="exit 1 when the sharded trace is not bit-identical to serial",
+    )
+    parser.add_argument(
+        "--min-cache-speedup", type=float, default=None, metavar="X",
+        help="exit 1 when the warm-cache report is not at least X times "
+        "faster than cold",
+    )
+    parser.add_argument(
+        "--min-gen-speedup", type=float, default=None, metavar="X",
+        help="exit 1 when sharded generation is not at least X times faster "
+        "than serial (skipped on machines with fewer cores than --jobs)",
+    )
     args = parser.parse_args(argv)
 
     tier_names = [t.strip() for t in args.tiers.split(",") if t.strip()]
@@ -283,6 +461,21 @@ def main(argv=None) -> int:
 
     json_path = Path(args.json_path)
     results = {name: run_tier(name, TIERS[name], args.repeats) for name in tier_names}
+
+    if args.engine:
+        for name in tier_names:
+            results[name]["engine"] = run_engine_tier(
+                name, args.jobs, args.repeats, args.engine_scale
+            )
+        code = check_engine(
+            results,
+            check_equivalence=args.check_equivalence,
+            min_cache_speedup=args.min_cache_speedup,
+            min_gen_speedup=args.min_gen_speedup,
+            jobs=args.jobs,
+        )
+        if code:
+            return code
 
     if args.check:
         first = tier_names[0]

@@ -7,7 +7,7 @@ from repro.simulation import calibration
 
 
 def test_table1_categories(benchmark, dataset):
-    result = benchmark(overview.category_breakdown, dataset)
+    result = benchmark(overview.categories, dataset)
     target = calibration.PAPER_TARGETS["category_split"]
     comparison(
         "table1_categories",

@@ -6,7 +6,7 @@ from repro.simulation import calibration
 
 
 def test_table2_components(benchmark, dataset):
-    shares = benchmark(overview.component_breakdown, dataset)
+    shares = benchmark(overview.components, dataset)
     rows = []
     for cls, paper_share in calibration.COMPONENT_MIX.items():
         rows.append((cls.value, pct(paper_share), pct(shares.get(cls, 0.0))))

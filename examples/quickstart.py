@@ -1,75 +1,57 @@
-"""Quickstart: generate a synthetic four-year FOT trace and run the
-paper's headline analyses.
+"""Quickstart: the :mod:`repro.api` facade in four verbs.
 
 Run:
-    python examples/quickstart.py [scale]
+    python examples/quickstart.py [scale] [jobs]
 
 ``scale`` defaults to 0.05 (a few thousand servers, ~15k tickets, a few
-seconds).  Use 1.0 to reproduce the full ~290k-ticket study.
+seconds); use 1.0 to reproduce the full ~290k-ticket study.  ``jobs``
+shards trace generation over processes — the output is bit-identical
+to serial, so crank it up on a big machine.
 """
 
 import sys
 
-from repro import ComponentClass, FOTCategory, generate_paper_trace
-from repro.analysis import overview, report, response, tbf, temporal
-from repro.core import io as core_io
+import repro
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
-    print(f"generating trace at scale {scale} ...")
-    trace = generate_paper_trace(scale=scale, seed=7)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    # --- simulate: generate the synthetic four-year trace ------------------
+    print(f"generating trace at scale {scale} (jobs={jobs}) ...")
+    trace = repro.simulate(scale=scale, seed=7, jobs=jobs)
     dataset = trace.dataset
     print(f"  {len(dataset)} tickets from {len(trace.fleet)} servers "
           f"in {len(trace.fleet.datacenters)} data centers\n")
 
-    # --- Table I: what happens to a ticket --------------------------------
-    cats = overview.category_breakdown(dataset)
-    print(report.format_table(
-        ["category", "share"],
-        [(c.value, report.format_percent(cats.fraction(c))) for c in FOTCategory],
-        title="Table I — FOT categories",
-    ))
+    # --- full_report: every paper table/figure the data sustains -----------
+    # An AnalysisCache makes the re-run free: results are memoized on the
+    # dataset's content fingerprint, so only changed views recompute.
+    cache = repro.AnalysisCache()
+    print(repro.full_report(dataset, cache=cache).text())
     print()
 
-    # --- Table II: which components fail ----------------------------------
-    shares = overview.component_breakdown(dataset)
-    print(report.format_table(
-        ["component", "share"],
-        [(cls.value, report.format_percent(s)) for cls, s in shares.items()],
-        title="Table II — failures by component class",
-    ))
-    print()
+    # --- analyze: individual named analyses, same cache ---------------------
+    repro.analyze(dataset, "categories", "mtbf", cache=cache)
+    results = repro.analyze(dataset, "categories", "mtbf", cache=cache)
+    cats = results["categories"]
+    print(repro.api.format_table(["category", "share"], cats.rows(),
+                                 title="Table I again (warm cache)"))
+    print(f"MTBF: {results['mtbf'].mtbf_minutes:.1f} minutes")
+    print(f"cache: {cache.stats.hits} hits / {cache.stats.misses} misses\n")
 
-    # --- Figure 3: when failures get detected ------------------------------
-    profile = temporal.day_of_week_profile(dataset, ComponentClass.HDD)
-    print(report.format_profile(
-        profile.labels, profile.fractions,
-        title=f"Figure 3 — HDD failures by day of week ({profile.test})",
-    ))
-    print()
+    # --- load: round-trip through a ticket dump -----------------------------
+    from repro.core import io as core_io
 
-    # --- Figure 5: no classic distribution fits the TBF --------------------
-    analysis = tbf.analyze_tbf(dataset)
-    print(f"MTBF: {analysis.mtbf_minutes:.1f} minutes")
-    for name, test in analysis.tests.items():
-        verdict = "rejected" if test.reject_at(0.05) else "not rejected"
-        print(f"  TBF ~ {name:<12} {verdict} (p = {test.p_value:.2g})")
-    print()
-
-    # --- Figure 9: how long operators take ---------------------------------
-    fixing = response.rt_distribution(dataset, FOTCategory.FIXING)
-    print(
-        f"operator response (D_fixing): median {fixing.median_days:.1f} days, "
-        f"mean {fixing.mean_days:.1f} days, "
-        f"{report.format_percent(fixing.tail_140d)} wait > 140 days"
-    )
-
-    # --- Persist for later sessions ----------------------------------------
     core_io.save(dataset, "quickstart_trace.jsonl")
     trace.inventory.save_csv("quickstart_inventory.csv")
-    print("\nsaved quickstart_trace.jsonl / quickstart_inventory.csv — "
-          "reload with repro.core.io.load(...)")
+    reloaded = repro.load("quickstart_trace.jsonl")
+    comparison = repro.compare(dataset, reloaded)
+    verdict = "identical" if comparison.within(0.01) else "DIFFERENT"
+    print(f"saved + reloaded quickstart_trace.jsonl: {verdict} "
+          f"({len(reloaded)} tickets)")
+    print("reload later with repro.load('quickstart_trace.jsonl')")
 
 
 if __name__ == "__main__":

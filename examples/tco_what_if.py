@@ -43,7 +43,7 @@ def run_warranty_sweep() -> None:
         cfg = paper_scenario(scale=SCALE, seed=SEED)
         cfg = replace(cfg, fleet=replace(cfg.fleet, warranty_years=warranty))
         trace = generate_trace(cfg)
-        cats = overview.category_breakdown(trace.dataset)
+        cats = overview.categories(trace.dataset)
         unhandled = cats.fraction(FOTCategory.ERROR)
         rows.append((
             f"{warranty:.1f} y",

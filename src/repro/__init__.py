@@ -11,12 +11,12 @@ The package has two halves:
   processes, and the Failure Management System — so a calibrated
   synthetic four-year trace stands in for the proprietary dataset.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the documented surface::
 
-    from repro import generate_paper_trace, analysis
+    import repro
 
-    trace = generate_paper_trace(scale=0.05, seed=7)
-    print(analysis.overview.category_breakdown(trace.dataset))
+    trace = repro.simulate(scale=0.05, seed=7, jobs=4)
+    print(repro.full_report(trace.dataset).text())
 """
 
 from repro.core.dataset import FOTDataset
@@ -24,6 +24,8 @@ from repro.core.ticket import FOT
 from repro.core.types import ComponentClass, FOTCategory
 from repro.simulation.trace import generate_paper_trace, generate_trace
 from repro import analysis, stats
+from repro import api
+from repro.api import AnalysisCache, analyze, audit, compare, full_report, load, simulate
 
 __all__ = [
     "FOT",
@@ -31,9 +33,17 @@ __all__ = [
     "ComponentClass",
     "FOTCategory",
     "analysis",
+    "api",
     "stats",
     "generate_paper_trace",
     "generate_trace",
+    "load",
+    "audit",
+    "simulate",
+    "analyze",
+    "full_report",
+    "compare",
+    "AnalysisCache",
 ]
 
 __version__ = "1.0.0"

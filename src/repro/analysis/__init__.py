@@ -38,6 +38,7 @@ from repro.analysis import (
     compare,
     concentration,
     correlated,
+    full_report,
     lifecycle,
     mining,
     overview,
@@ -54,6 +55,7 @@ from repro.analysis import (
 
 __all__ = [
     "overview",
+    "full_report",
     "temporal",
     "tbf",
     "lifecycle",

@@ -15,6 +15,7 @@ compare cleanly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -73,6 +74,16 @@ class DatasetComparison:
             and self.dow_profile_l1 < rel_tolerance
         )
 
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """Rows for :func:`repro.analysis.report.format_table`."""
+        rows = [
+            (m.name, f"{m.left:.4g}", f"{m.right:.4g}") for m in self.metrics
+        ]
+        rows.append(("component share L1", f"{self.component_share_l1:.3f}", "-"))
+        rows.append(("day-of-week profile L1", f"{self.dow_profile_l1:.3f}", "-"))
+        rows.append(("hour-of-day profile L1", f"{self.hour_profile_l1:.3f}", "-"))
+        return rows
+
 
 def _l1(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.abs(np.asarray(a) - np.asarray(b)).sum())
@@ -92,8 +103,8 @@ def compare_datasets(left: FOTDataset, right: FOTDataset) -> DatasetComparison:
 
     metrics: List[MetricComparison] = []
 
-    cats_l = overview.category_breakdown(left)
-    cats_r = overview.category_breakdown(right)
+    cats_l = overview.categories(left)
+    cats_r = overview.categories(right)
     for cat in FOTCategory:
         metrics.append(
             MetricComparison(
@@ -103,8 +114,8 @@ def compare_datasets(left: FOTDataset, right: FOTDataset) -> DatasetComparison:
             )
         )
 
-    comp_l = overview.component_breakdown(left)
-    comp_r = overview.component_breakdown(right)
+    comp_l = overview.components(left)
+    comp_r = overview.components(right)
     share_l = np.asarray([comp_l.get(c, 0.0) for c in ComponentClass])
     share_r = np.asarray([comp_r.get(c, 0.0) for c in ComponentClass])
     metrics.append(
@@ -160,14 +171,14 @@ def compare_datasets(left: FOTDataset, right: FOTDataset) -> DatasetComparison:
 
 
 def comparison_rows(result: DatasetComparison) -> List[Tuple[str, str, str]]:
-    """Rows for :func:`repro.analysis.report.format_table`."""
-    rows = [
-        (m.name, f"{m.left:.4g}", f"{m.right:.4g}") for m in result.metrics
-    ]
-    rows.append(("component share L1", f"{result.component_share_l1:.3f}", "-"))
-    rows.append(("day-of-week profile L1", f"{result.dow_profile_l1:.3f}", "-"))
-    rows.append(("hour-of-day profile L1", f"{result.hour_profile_l1:.3f}", "-"))
-    return rows
+    """Deprecated alias for :meth:`DatasetComparison.rows`."""
+    warnings.warn(
+        "repro.analysis.compare.comparison_rows is deprecated; use "
+        "DatasetComparison.rows() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return result.rows()
 
 
 __all__ = [

@@ -1,16 +1,73 @@
-"""Dataset overview — Tables I, II, III and Figure 2 of the paper."""
+"""Dataset overview — Tables I, II, III and Figure 2 of the paper.
+
+Every entry point takes the :class:`~repro.core.dataset.FOTDataset` as
+its first positional argument and returns a frozen dataclass with a
+``.rows()`` method, so results render uniformly through
+:func:`repro.analysis.report.format_table`.  The share-style results
+also implement the ``Mapping`` protocol over their natural keys, so
+dict-style callers (``shares[ComponentClass.HDD]``, ``shares.values()``)
+keep working.
+
+The pre-1.1 names (``category_breakdown`` & friends) remain as thin
+deprecated aliases.
+"""
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.analysis.report import format_percent
 from repro.core.dataset import FOTDataset
 from repro.core.failure_types import table_iii_rows
 from repro.core.types import ComponentClass, DetectionSource, FOTCategory
 from repro.robustness.quality import InsufficientDataError
+
+
+def _label(key) -> str:
+    return key.value if hasattr(key, "value") else str(key)
+
+
+@dataclass(frozen=True)
+class _Shares(Mapping):
+    """Ordered ``key -> fraction`` result with tabular rendering."""
+
+    shares: Dict[object, float]
+    total: int
+
+    def __getitem__(self, key) -> float:
+        return self.shares[key]
+
+    def __iter__(self) -> Iterator:
+        return iter(self.shares)
+
+    def __len__(self) -> int:
+        return len(self.shares)
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """``(label, percent)`` rows for ``report.format_table``."""
+        return [(_label(k), format_percent(v)) for k, v in self.shares.items()]
+
+
+@dataclass(frozen=True)
+class ComponentShares(_Shares):
+    """Table II: failure share per component class, descending."""
+
+
+@dataclass(frozen=True)
+class FailureTypeShares(_Shares):
+    """Figure 2: failure-type shares within one component class."""
+
+    component: ComponentClass = ComponentClass.HDD
+
+
+@dataclass(frozen=True)
+class DetectionSourceShares(_Shares):
+    """Share of tickets per detection source."""
 
 
 @dataclass(frozen=True)
@@ -24,8 +81,14 @@ class CategoryBreakdown:
     def fraction(self, category: FOTCategory) -> float:
         return self.fractions.get(category, 0.0)
 
+    def rows(self) -> List[Tuple[str, str]]:
+        return [
+            (cat.value, format_percent(self.fractions.get(cat, 0.0)))
+            for cat in FOTCategory
+        ]
 
-def category_breakdown(dataset: FOTDataset) -> CategoryBreakdown:
+
+def categories(dataset: FOTDataset) -> CategoryBreakdown:
     """Table I: D_fixing / D_error / D_falsealarm shares.
 
     paper: 70.3 % / 28.0 % / 1.7 %.
@@ -40,7 +103,7 @@ def category_breakdown(dataset: FOTDataset) -> CategoryBreakdown:
     return CategoryBreakdown(counts=counts, fractions=fractions, total=total)
 
 
-def component_breakdown(dataset: FOTDataset) -> Dict[ComponentClass, float]:
+def components(dataset: FOTDataset) -> ComponentShares:
     """Table II: failure share per component class, over failures only
     (D_fixing + D_error, excluding false alarms), sorted descending.
 
@@ -53,12 +116,13 @@ def component_breakdown(dataset: FOTDataset) -> Dict[ComponentClass, float]:
         cls: len(sub) / len(failures)
         for cls, sub in failures.by_component().items()
     }
-    return dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+    ordered = dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+    return ComponentShares(shares=ordered, total=len(failures))
 
 
-def failure_type_breakdown(
+def failure_types(
     dataset: FOTDataset, component: ComponentClass
-) -> Dict[str, float]:
+) -> FailureTypeShares:
     """Figure 2: failure-type shares within one component class, over
     failures only, sorted descending."""
     subset = dataset.failures().of_component(component)
@@ -68,10 +132,11 @@ def failure_type_breakdown(
         name: len(sub) / len(subset)
         for name, sub in subset.by_failure_type().items()
     }
-    return dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+    ordered = dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+    return FailureTypeShares(shares=ordered, total=len(subset), component=component)
 
 
-def detection_source_breakdown(dataset: FOTDataset) -> Dict[DetectionSource, float]:
+def detection_sources(dataset: FOTDataset) -> DetectionSourceShares:
     """Share of tickets per detection source.
 
     paper: agents detect ~90 % automatically (syslog + polling), ~10 %
@@ -80,10 +145,11 @@ def detection_source_breakdown(dataset: FOTDataset) -> Dict[DetectionSource, flo
     if len(dataset) == 0:
         raise InsufficientDataError("empty dataset")
     counts = np.bincount(dataset.source_codes, minlength=len(DetectionSource))
-    return {
+    shares = {
         src: int(counts[code]) / len(dataset)
         for code, src in enumerate(DetectionSource)
     }
+    return DetectionSourceShares(shares=shares, total=len(dataset))
 
 
 def table_iii() -> List[Tuple[str, str, str]]:
@@ -91,11 +157,55 @@ def table_iii() -> List[Tuple[str, str, str]]:
     return table_iii_rows()
 
 
+# ---------------------------------------------------------------------------
+# Deprecated pre-1.1 names.
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.analysis.overview.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def category_breakdown(dataset: FOTDataset) -> CategoryBreakdown:
+    """Deprecated alias for :func:`categories`."""
+    _warn("category_breakdown", "categories")
+    return categories(dataset)
+
+
+def component_breakdown(dataset: FOTDataset) -> ComponentShares:
+    """Deprecated alias for :func:`components`."""
+    _warn("component_breakdown", "components")
+    return components(dataset)
+
+
+def failure_type_breakdown(
+    dataset: FOTDataset, component: ComponentClass
+) -> FailureTypeShares:
+    """Deprecated alias for :func:`failure_types`."""
+    _warn("failure_type_breakdown", "failure_types")
+    return failure_types(dataset, component)
+
+
+def detection_source_breakdown(dataset: FOTDataset) -> DetectionSourceShares:
+    """Deprecated alias for :func:`detection_sources`."""
+    _warn("detection_source_breakdown", "detection_sources")
+    return detection_sources(dataset)
+
+
 __all__ = [
     "CategoryBreakdown",
+    "ComponentShares",
+    "FailureTypeShares",
+    "DetectionSourceShares",
+    "categories",
+    "components",
+    "failure_types",
+    "detection_sources",
+    "table_iii",
     "category_breakdown",
     "component_breakdown",
     "failure_type_breakdown",
     "detection_source_breakdown",
-    "table_iii",
 ]

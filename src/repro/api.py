@@ -1,0 +1,183 @@
+"""The single documented entry surface of the toolkit.
+
+Everything a downstream user does — load a ticket dump, simulate a
+fleet scenario, run analyses, render the paper report — goes through
+four verbs::
+
+    import repro
+
+    trace = repro.simulate(scale=0.05, seed=7, jobs=4)
+    dataset = repro.load("dump.jsonl", lenient=True)
+    results = repro.analyze(dataset, "categories", "components", "mtbf")
+    print(repro.full_report(dataset).text())
+
+The facade wraps the per-module APIs (``repro.analysis.*``,
+``repro.core.io``, ``repro.simulation.trace``) without hiding them;
+power users can still import the modules directly.  ``jobs`` fans trace
+generation out over the :mod:`repro.engine` shard pool (bit-identical
+to serial), and ``cache`` threads an
+:class:`~repro.engine.cache.AnalysisCache` through the report path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis import (
+    batch,
+    compare as _compare_mod,
+    concentration,
+    correlated,
+    overview,
+    repeating,
+    response,
+    tbf,
+    temporal,
+)
+from repro.analysis.compare import DatasetComparison, compare_datasets
+from repro.analysis.full_report import FullReport, ReportSection, full_report
+from repro.analysis.mining import mine_incidents
+from repro.analysis.prediction import predict_and_evaluate
+from repro.analysis.report import format_percent, format_table
+from repro.core import io as _io
+from repro.core.dataset import FOTDataset
+from repro.core.types import FOTCategory
+from repro.engine import AnalysisCache
+from repro.robustness.quality import DataQuality
+from repro.simulation.trace import generate_trace
+
+__all__ = [
+    "load",
+    "audit",
+    "simulate",
+    "analyze",
+    "full_report",
+    "compare",
+    "AuditResult",
+    "AnalysisCache",
+    "DatasetComparison",
+    "FullReport",
+    "ReportSection",
+    "compare_datasets",
+    "mine_incidents",
+    "predict_and_evaluate",
+    "format_table",
+    "format_percent",
+    "ANALYSES",
+]
+
+
+def load(path, *, lenient: bool = False) -> FOTDataset:
+    """Load a ticket dump (.jsonl or .csv).
+
+    Strict by default: malformed lines raise ``ValueError``.  With
+    ``lenient=True`` malformed lines are quarantined and the salvageable
+    remainder is returned — use :func:`audit` when you also need the
+    quarantine report.
+    """
+    if not lenient:
+        return _io.load(path)
+    dataset, _ = _io.load(path, strict=False)
+    return dataset
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """A lenient load plus its data-quality audit."""
+
+    dataset: FOTDataset
+    quarantine: Any
+    quality: DataQuality
+
+    @property
+    def dirty(self) -> bool:
+        return self.quarantine.n_skipped > 0 or self.quality.grade == "poor"
+
+    def rows(self) -> List[Tuple[str, str]]:
+        return [
+            ("tickets", str(len(self.dataset))),
+            ("skipped lines", str(self.quarantine.n_skipped)),
+            ("quality grade", self.quality.grade),
+        ]
+
+
+def audit(path) -> AuditResult:
+    """Leniently load ``path`` and assess what survived.
+
+    Raises ``ValueError`` for structurally unreadable dumps (unknown
+    format, missing required CSV columns).
+    """
+    dataset, quarantine = _io.load(path, strict=False)
+    quality = DataQuality.assess(dataset)
+    # Probe the degradation-aware analyses so their exclusions show up
+    # in the assessment even though the statistics are discarded here.
+    for category in (FOTCategory.FIXING, FOTCategory.FALSE_ALARM):
+        try:
+            response.rt_distribution(dataset, category, quality=quality)
+        except ValueError:
+            pass
+    return AuditResult(dataset=dataset, quarantine=quarantine, quality=quality)
+
+
+def simulate(scenario=None, *, scale: float = 1.0, seed: int = 20170626,
+             jobs: int = 1):
+    """Generate a synthetic FOT trace.
+
+    Args:
+        scenario: a :class:`~repro.config.ScenarioConfig`; when omitted,
+            the paper scenario at ``scale``/``seed`` is used.
+        jobs: worker processes for sharded generation.  Output is
+            bit-identical to ``jobs=1`` for the same scenario.
+
+    Returns the full trace result (``.dataset``, ``.inventory``,
+    ``.fleet``, ``.fms_stats``).
+    """
+    if scenario is None:
+        from repro.config import paper_scenario
+
+        scenario = paper_scenario(scale=scale, seed=seed)
+    return generate_trace(scenario, jobs=jobs)
+
+
+#: Named analyses runnable through :func:`analyze`: name -> (fn, params).
+ANALYSES: Dict[str, Tuple[Any, Dict[str, Any]]] = {
+    "categories": (overview.categories, {}),
+    "components": (overview.components, {}),
+    "detection_sources": (overview.detection_sources, {}),
+    "mtbf": (tbf.analyze_tbf, {}),
+    "day_of_week": (temporal.day_of_week_summary, {}),
+    "concentration": (concentration.failure_concentration, {}),
+    "repeats": (repeating.repeating_stats, {}),
+    "batches": (batch.batch_failure_frequency, {}),
+    "correlated": (correlated.component_pair_counts, {}),
+    "response_fixing": (response.rt_distribution,
+                        {"category": FOTCategory.FIXING}),
+}
+
+
+def analyze(dataset: FOTDataset, *analyses: str,
+            cache: Optional[AnalysisCache] = None) -> Dict[str, Any]:
+    """Run named analyses over ``dataset``; all of them when none named.
+
+    Returns ``{name: result}``; see :data:`ANALYSES` for the registry.
+    """
+    names = analyses or tuple(ANALYSES)
+    unknown = [n for n in names if n not in ANALYSES]
+    if unknown:
+        raise ValueError(
+            f"unknown analyses {unknown}; choose from {sorted(ANALYSES)}"
+        )
+    results: Dict[str, Any] = {}
+    for name in names:
+        fn, params = ANALYSES[name]
+        if cache is not None:
+            results[name] = cache.call(fn, dataset, **params)
+        else:
+            results[name] = fn(dataset, **params)
+    return results
+
+
+def compare(left: FOTDataset, right: FOTDataset) -> DatasetComparison:
+    """Compare two FOT datasets across the paper's dimensions."""
+    return _compare_mod.compare_datasets(left, right)

@@ -1,13 +1,16 @@
-"""Command-line interface.
+"""Command-line interface, consolidated onto the :mod:`repro.api` facade.
 
 Core subcommands::
 
-    fouryears generate --scale 0.05 --seed 7 --out trace.jsonl \
+    fouryears simulate --scale 0.05 --seed 7 --jobs 4 --out trace.jsonl \
         --inventory inventory.csv
-    fouryears analyze trace.jsonl --inventory inventory.csv
+    fouryears analyze trace.jsonl --inventory inventory.csv --cache
     fouryears report trace.jsonl          # compact headline summary
     fouryears validate dump.csv           # quarantine + data-quality audit
     fouryears corrupt trace.jsonl --out dirty.jsonl --seed 7
+
+(``repro`` is installed as an alias of ``fouryears``; ``generate`` is a
+deprecated alias of ``simulate``.)
 
 ``analyze`` prints every paper table/figure the dataset supports,
 skipping (with a notice) any analysis the data cannot sustain;
@@ -15,6 +18,12 @@ skipping (with a notice) any analysis the data cannot sustain;
 through the quarantining loader and prints what was skipped/repaired
 plus a :class:`~repro.robustness.quality.DataQuality` assessment.
 ``corrupt`` runs the deterministic chaos harness over a clean trace.
+
+Flags behave identically wherever they appear: ``--lenient``
+quarantines malformed input lines instead of failing the load,
+``--jobs N`` shards trace generation over N processes (bit-identical
+output), and ``--cache``/``--no-cache`` toggles the on-disk analysis
+cache under ``.repro_cache/``.
 """
 
 from __future__ import annotations
@@ -22,38 +31,29 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis import (
-    batch,
-    compare,
-    concentration,
-    correlated,
-    mining,
-    overview,
-    prediction,
-    repeating,
-    report,
-    response,
-    spatial,
-    tbf,
-    temporal,
-)
+from repro import api
 from repro.core import io as core_io
-from repro.core.types import ComponentClass, FOTCategory
-from repro.fleet.inventory import Inventory
 from repro.robustness.chaos import (
     CORRUPTION_KINDS,
     CorruptionSpec,
     corrupt_dataset,
     default_specs,
 )
-from repro.robustness.quality import DataQuality, InsufficientDataError
-from repro.simulation.trace import generate_paper_trace
+
+#: Default on-disk cache location for ``--cache``.
+CACHE_DIR = Path(".repro_cache")
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
-    trace = generate_paper_trace(scale=args.scale, seed=args.seed)
+def _cache_from(args: argparse.Namespace) -> Optional[api.AnalysisCache]:
+    if getattr(args, "cache", False):
+        return api.AnalysisCache(directory=CACHE_DIR)
+    return None
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = api.simulate(scale=args.scale, seed=args.seed, jobs=args.jobs)
     core_io.save(trace.dataset, args.out)
     print(f"wrote {len(trace.dataset)} tickets to {args.out}")
     if args.inventory:
@@ -70,7 +70,7 @@ def _load_dataset(path: str, lenient: bool):
     return whatever could be salvaged."""
     if not lenient:
         try:
-            return core_io.load(path)
+            return api.load(path)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             print(
@@ -79,189 +79,52 @@ def _load_dataset(path: str, lenient: bool):
                 file=sys.stderr,
             )
             raise SystemExit(2) from exc
-    dataset, quarantine = core_io.load(path, strict=False)
-    if not quarantine.clean:
-        print(quarantine.format())
+    audited = api.audit(path)
+    if not audited.quarantine.clean:
+        print(audited.quarantine.format())
         print()
-    return dataset
-
-
-def _section(fn: Callable[[], None]) -> None:
-    """Run one analysis block, degrading to a skip notice when the data
-    cannot sustain it instead of aborting the whole report."""
-    try:
-        fn()
-    except InsufficientDataError as exc:
-        print(f"[skipped] {exc}")
-
-
-def _print_headlines(dataset, inventory: Optional[Inventory]) -> None:
-    def table_i() -> None:
-        cats = overview.category_breakdown(dataset)
-        print(
-            report.format_table(
-                ["category", "share"],
-                [
-                    (cat.value, report.format_percent(cats.fraction(cat)))
-                    for cat in FOTCategory
-                ],
-                title="Table I — FOT categories",
-            )
-        )
-        print()
-
-    def table_ii() -> None:
-        comp = overview.component_breakdown(dataset)
-        print(
-            report.format_table(
-                ["component", "share"],
-                [
-                    (cls.value, report.format_percent(share))
-                    for cls, share in comp.items()
-                ],
-                title="Table II — failures by component",
-            )
-        )
-        print()
-
-    def mtbf() -> None:
-        analysis = tbf.analyze_tbf(dataset)
-        print(
-            f"MTBF: {analysis.mtbf_minutes:.1f} minutes over "
-            f"{analysis.n_gaps + 1} failures"
-        )
-        rejected = {name: t.reject_at(0.05) for name, t in analysis.tests.items()}
-        print(f"TBF fits rejected at 0.05: {rejected}")
-
-    _section(table_i)
-    _section(table_ii)
-    _section(mtbf)
+    return audited.dataset
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.lenient)
-    inventory = Inventory.load_csv(args.inventory) if args.inventory else None
-    _print_headlines(dataset, inventory)
+    report = api.full_report(
+        dataset, cache=_cache_from(args), headline_only=True
+    )
+    print(report.text())
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.lenient)
-    inventory = Inventory.load_csv(args.inventory) if args.inventory else None
-    quality = DataQuality.assess(dataset)
-    _print_headlines(dataset, inventory)
+    inventory = None
+    if args.inventory:
+        from repro.fleet.inventory import Inventory
 
-    def fig3() -> None:
-        print()
-        for cls, profile in temporal.day_of_week_summary(dataset, 4).items():
-            print(
-                report.format_profile(
-                    profile.labels,
-                    profile.fractions,
-                    title=f"Figure 3 — {cls.value} by day of week ({profile.test})",
-                )
-            )
-            print()
-
-    def fig7() -> None:
-        curve = concentration.failure_concentration(dataset)
-        print(
-            f"Figure 7 — concentration: top 2 % of ever-failed servers hold "
-            f"{report.format_percent(curve.share_of_top(0.02))} of failures "
-            f"(gini {curve.gini:.3f})"
-        )
-        rep = repeating.repeating_stats(dataset)
-        print(
-            f"Repeats: {report.format_percent(rep.repeat_free_fraction)} of fixed "
-            f"components never repeat; "
-            f"{report.format_percent(rep.repeating_server_fraction)} of failed "
-            f"servers repeat; worst server has {rep.max_failures_single_server} failures"
-        )
-
-    def table_v() -> None:
-        freq = batch.batch_failure_frequency(dataset)
-        rows = [
-            (cls.value,)
-            + tuple(
-                report.format_percent(freq[cls][n]) for n in batch.TABLE_V_THRESHOLDS
-            )
-            for cls in ComponentClass
-        ]
-        print()
-        print(
-            report.format_table(
-                ["component", "r100", "r200", "r500"],
-                rows,
-                title="Table V — batch failure frequency",
-            )
-        )
-
-    def table_vi() -> None:
-        corr = correlated.component_pair_counts(dataset)
-        print()
-        print(
-            f"Correlated pairs: {corr.total_pairs()} "
-            f"({report.format_percent(corr.correlated_server_fraction)} of failed "
-            f"servers; misc share {report.format_percent(corr.misc_share)})"
-        )
-
-    def fig9() -> None:
-        fixing = response.rt_distribution(dataset, FOTCategory.FIXING, quality=quality)
-        print(
-            f"RT (D_fixing): median {fixing.median_days:.1f} d, mean "
-            f"{fixing.mean_days:.1f} d, >140 d: {report.format_percent(fixing.tail_140d)}"
-        )
-
-    def table_iv() -> None:
-        summary = spatial.rack_position_tests(dataset, inventory, quality=quality)
-        print()
-        print(
-            report.format_table(
-                ["p-value bucket", "data centers"],
-                list(summary.bucket_counts().items()),
-                title="Table IV — rack-position chi-square results",
-            )
-        )
-
-    _section(fig3)
-    _section(fig7)
-    _section(table_v)
-    _section(table_vi)
-    _section(fig9)
-    if inventory is not None:
-        _section(table_iv)
-
-    if quality.grade != "ok" or quality.exclusions:
-        print()
-        print(quality.format())
+        inventory = Inventory.load_csv(args.inventory)
+    report = api.full_report(
+        dataset, inventory=inventory, cache=_cache_from(args)
+    )
+    print(report.text())
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     try:
-        dataset, quarantine = core_io.load(args.dataset, strict=False)
+        audited = api.audit(args.dataset)
     except ValueError as exc:
         # Even lenient loading refuses structurally unreadable dumps
         # (unknown format, missing required CSV columns).
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(quarantine.format())
+    print(audited.quarantine.format())
     print()
-    quality = DataQuality.assess(dataset)
-    # Probe the degradation-aware analyses so their exclusions show up
-    # in the assessment even though we discard the statistics here.
-    for category in (FOTCategory.FIXING, FOTCategory.FALSE_ALARM):
-        try:
-            response.rt_distribution(dataset, category, quality=quality)
-        except ValueError:
-            pass
-    print(quality.format())
-    dirty = quarantine.n_skipped > 0 or quality.grade == "poor"
-    return 1 if dirty else 0
+    print(audited.quality.format())
+    return 1 if audited.dirty else 0
 
 
 def _cmd_corrupt(args: argparse.Namespace) -> int:
-    dataset = core_io.load(args.dataset)
+    dataset = api.load(args.dataset)
     try:
         if args.kind:
             specs = [CorruptionSpec.parse(token) for token in args.kind]
@@ -292,15 +155,15 @@ def _cmd_corrupt(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    dataset = core_io.load(args.dataset)
-    incidents = mining.mine_incidents(dataset, min_batch=args.min_batch)
+    dataset = api.load(args.dataset)
+    incidents = api.mine_incidents(dataset, min_batch=args.min_batch)
     rows = [
         (i.incident_id, i.kind, len(i), len(i.servers),
          f"{i.span_seconds / 86400.0:.1f} d", i.summary[:70])
         for i in incidents[: args.limit]
     ]
     print(
-        report.format_table(
+        api.format_table(
             ["id", "kind", "tickets", "servers", "span", "summary"],
             rows,
             title=f"{len(incidents)} incidents "
@@ -311,20 +174,20 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    dataset = core_io.load(args.dataset)
+    dataset = api.load(args.dataset)
     rows = []
     for min_warnings in (1, 2, 3):
-        rep = prediction.predict_and_evaluate(
+        rep = api.predict_and_evaluate(
             dataset, min_warnings=min_warnings, horizon_days=args.horizon
         )
         rows.append((
             min_warnings, rep.n_warnings,
-            report.format_percent(rep.precision) if rep.n_warnings else "-",
-            report.format_percent(rep.recall) if rep.n_fatal_failures else "-",
+            api.format_percent(rep.precision) if rep.n_warnings else "-",
+            api.format_percent(rep.recall) if rep.n_fatal_failures else "-",
             f"{rep.mean_lead_days:.1f} d",
         ))
     print(
-        report.format_table(
+        api.format_table(
             ["trigger", "alerts", "precision", "recall", "mean lead"],
             rows,
             title=f"failure prediction ({args.horizon:.0f}-day horizon)",
@@ -334,10 +197,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
-    from repro.simulation.trace import generate_paper_trace
     from repro.simulation.validation import failed_checks, validate_trace
 
-    trace = generate_paper_trace(scale=args.scale, seed=args.seed)
+    trace = api.simulate(scale=args.scale, seed=args.seed, jobs=args.jobs)
     # Sampling noise widens with shrinking traces.
     slack = max(1.0, 0.3 / max(args.scale, 0.01))
     checks = validate_trace(trace, slack=slack)
@@ -352,19 +214,54 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    left = core_io.load(args.left)
-    right = core_io.load(args.right)
-    result = compare.compare_datasets(left, right)
+    left = api.load(args.left)
+    right = api.load(args.right)
+    result = api.compare(left, right)
     print(
-        report.format_table(
+        api.format_table(
             ["metric", args.left, args.right],
-            compare.comparison_rows(result),
+            result.rows(),
             title="dataset comparison (scale-free metrics)",
         )
     )
     verdict = "compatible" if result.within(args.tolerance) else "DIFFERENT"
     print(f"\nverdict at {args.tolerance:.0%} relative tolerance: {verdict}")
     return 0
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard trace generation over N processes "
+        "(output is bit-identical to --jobs 1)",
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache",
+        action="store_true",
+        default=False,
+        help=f"memoize analysis results on disk under {CACHE_DIR}/",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="cache",
+        help="recompute every analysis (default)",
+    )
+
+
+def _add_lenient_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine malformed lines instead of failing the load",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,31 +274,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="generate a synthetic FOT trace")
-    gen.add_argument("--scale", type=float, default=0.05)
-    gen.add_argument("--seed", type=int, default=20170626)
-    gen.add_argument("--out", default="trace.jsonl")
-    gen.add_argument("--inventory", default=None)
-    gen.set_defaults(func=_cmd_generate)
+    for name, help_text in (
+        ("simulate", "generate a synthetic FOT trace"),
+        ("generate", "deprecated alias of 'simulate'"),
+    ):
+        gen = sub.add_parser(name, help=help_text)
+        gen.add_argument("--scale", type=float, default=0.05)
+        gen.add_argument("--seed", type=int, default=20170626)
+        gen.add_argument("--out", default="trace.jsonl")
+        gen.add_argument("--inventory", default=None)
+        _add_jobs_flag(gen)
+        gen.set_defaults(func=_cmd_simulate)
 
     rep = sub.add_parser("report", help="print headline statistics")
     rep.add_argument("dataset")
     rep.add_argument("--inventory", default=None)
-    rep.add_argument(
-        "--lenient",
-        action="store_true",
-        help="quarantine malformed lines instead of failing the load",
-    )
+    _add_lenient_flag(rep)
+    _add_cache_flags(rep)
     rep.set_defaults(func=_cmd_report)
 
     ana = sub.add_parser("analyze", help="run every paper analysis")
     ana.add_argument("dataset")
     ana.add_argument("--inventory", default=None)
-    ana.add_argument(
-        "--lenient",
-        action="store_true",
-        help="quarantine malformed lines instead of failing the load",
-    )
+    _add_lenient_flag(ana)
+    _add_cache_flags(ana)
     ana.set_defaults(func=_cmd_analyze)
 
     val = sub.add_parser(
@@ -467,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--scale", type=float, default=0.1)
     check.add_argument("--seed", type=int, default=20170626)
+    _add_jobs_flag(check)
     check.set_defaults(func=_cmd_selfcheck)
     return parser
 

@@ -110,6 +110,7 @@ class ColumnStore:
         "_tables",
         "_table_index",
         "_ticket_cache",
+        "_fingerprint",
     )
 
     def __init__(
@@ -126,6 +127,7 @@ class ColumnStore:
         self._tables = tables
         self._table_index = table_index
         self._ticket_cache = ticket_cache
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -292,6 +294,43 @@ class ColumnStore:
         never-matching filter)."""
         self.table(table_name)
         return self._table_index.get(table_name, {}).get(value, -1)
+
+    # ------------------------------------------------------------------
+    # content fingerprint
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the store, memoized on first use.
+
+        Covers every numeric/code column (raw bytes), the interned
+        string tables and the plain string columns.  The free-form
+        ``details`` dict column is deliberately **excluded**: it carries
+        generator ground-truth (tags, chain ids) that no analysis reads,
+        and hashing arbitrary dicts stably is not worth the cost.  Two
+        stores with identical ticket content therefore share a
+        fingerprint even when built independently.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(str(self.n).encode())
+            for name in COLUMN_NAMES:
+                if name == "details":
+                    continue
+                column = self.column(name)
+                digest.update(name.encode())
+                if column.dtype == object:
+                    for value in column:
+                        digest.update(str(value).encode())
+                        digest.update(b"\x1e")
+                else:
+                    digest.update(str(column.dtype).encode())
+                    digest.update(np.ascontiguousarray(column).tobytes())
+            for table_name in TABLE_NAMES:
+                digest.update(table_name.encode())
+                digest.update("\x1f".join(self.table(table_name)).encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # ticket materialization

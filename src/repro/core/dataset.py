@@ -55,6 +55,7 @@ class FOTDataset:
         self._cols: Dict[str, np.ndarray] = {}
         self._gind: Optional[np.ndarray] = None
         self._tickets_memo: Optional[List[FOT]] = None
+        self._fingerprint_memo: Optional[str] = None
 
     @classmethod
     def from_store(
@@ -73,6 +74,7 @@ class FOTDataset:
         dataset._cols = {}
         dataset._gind = None
         dataset._tickets_memo = None
+        dataset._fingerprint_memo = None
         return dataset
 
     # ------------------------------------------------------------------
@@ -92,6 +94,24 @@ class FOTDataset:
             gind.setflags(write=False)
             self._gind = gind
         return self._gind
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of this *view*: the store's content hash
+        plus a hash of the view's index array.  Any filter/take/concat
+        yields a different fingerprint (different rows or row order);
+        the :class:`~repro.engine.cache.AnalysisCache` keys on it."""
+        if self._fingerprint_memo is None:
+            store_fp = self._store.fingerprint()
+            if self._indices is None:
+                view_fp = "all"
+            else:
+                import hashlib
+
+                view_fp = hashlib.sha256(
+                    np.ascontiguousarray(self._indices).tobytes()
+                ).hexdigest()[:16]
+            self._fingerprint_memo = f"{store_fp}:{view_fp}"
+        return self._fingerprint_memo
 
     def _view(self, rows: np.ndarray) -> "FOTDataset":
         """A sibling view from *global* store rows."""

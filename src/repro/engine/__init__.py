@@ -1,0 +1,16 @@
+"""Execution engine: process-parallel shard execution and analysis
+result caching.
+
+* :mod:`repro.engine.parallel` — runs the per-data-center shards of a
+  planned trace (:func:`repro.simulation.trace.plan_trace`) on a
+  ``multiprocessing`` pool; bit-identical to serial execution because
+  shard boundaries and seed streams never depend on ``jobs``.
+* :mod:`repro.engine.cache` — :class:`AnalysisCache`, a content-keyed
+  memo for analysis results over dataset views, with an in-memory LRU
+  tier and an optional on-disk tier under ``.repro_cache/``.
+"""
+
+from repro.engine.cache import AnalysisCache, CacheStats
+from repro.engine.parallel import run_shards
+
+__all__ = ["AnalysisCache", "CacheStats", "run_shards"]

@@ -1,0 +1,192 @@
+"""Content-keyed memoization of analysis results over dataset views.
+
+A cache key is the SHA-256 of
+
+``(cache format version, repro version, function module+qualname,
+canonicalized params, dataset view fingerprint)``
+
+where the view fingerprint (:meth:`FOTDataset.fingerprint`) combines the
+backing store's content hash with a hash of the view's index array.
+Views are immutable — ``where``/``take``/``concat`` return *new* views
+with new index arrays — so invalidation is automatic: a filter tweak
+changes the fingerprint and misses the cache, while re-running the same
+report on the same view hits every entry.
+
+Two tiers:
+
+* an in-memory LRU (``max_entries``) for the common re-run-in-process
+  case;
+* an optional on-disk tier (``directory``, conventionally
+  ``.repro_cache/``) holding pickled results, shared across processes.
+  Disk entries are written atomically (temp file + rename) so
+  concurrent writers — e.g. parallel test workers pointed at *distinct*
+  temp dirs, or two CLI invocations racing on one dir — never observe a
+  torn pickle; unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+#: Bump when the key schema or pickle layout changes.
+_FORMAT = "repro-cache-v1"
+
+
+def _canon(value: Any) -> str:
+    """Deterministic text form of a parameter value for key hashing."""
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_canon(k)}:{_canon(v)}" for k, v in sorted(value.items(), key=repr)
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canon(v) for v in value) + "]"
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+@dataclass
+class CacheStats:
+    """Counters for observability and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class AnalysisCache:
+    """LRU + optional disk memo for ``fn(dataset, **params)`` calls.
+
+    Args:
+        max_entries: In-memory LRU capacity (per-cache, not per-key).
+        directory: On-disk tier root; ``None`` disables the disk tier.
+            Created on first write.  Point concurrent workers that must
+            not share state (e.g. ``pytest -n auto``) at distinct
+            temp dirs.
+    """
+
+    max_entries: int = 128
+    directory: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _lru: "OrderedDict[str, Any]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+
+    # ------------------------------------------------------------------
+    def key_for(self, fn: Callable, dataset, params: dict) -> str:
+        from repro import __version__
+
+        name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+        raw = "|".join(
+            (_FORMAT, __version__, name, _canon(params), dataset.fingerprint())
+        )
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def call(self, fn: Callable, dataset, **params) -> Any:
+        """``fn(dataset, **params)``, memoized on content."""
+        key = self.key_for(fn, dataset, params)
+        hit, value = self._get(key)
+        if hit:
+            return value
+        value = fn(dataset, **params)
+        self._put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def _get(self, key: str):
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return True, self._lru[key]
+        if self.directory is not None:
+            path = self._disk_path(key)
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                pass
+            except (OSError, pickle.PickleError, EOFError, AttributeError,
+                    ImportError, IndexError):
+                self.stats.errors += 1
+            else:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(key, value)
+                return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def _put(self, key: str, value: Any) -> None:
+        self._remember(key, value)
+        if self.directory is None:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError, AttributeError, TypeError):
+            # Unpicklable results (pickle raises PicklingError, but also
+            # AttributeError/TypeError for locals and closures) or a
+            # read-only disk degrade to memory-only caching rather than
+            # failing the analysis.
+            self.stats.errors += 1
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._lru[key] = value
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory tier; with ``disk=True`` also delete the
+        on-disk entries (but not the directory itself)."""
+        self._lru.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*/*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+__all__ = ["AnalysisCache", "CacheStats"]

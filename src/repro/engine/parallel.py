@@ -1,0 +1,69 @@
+"""Process-parallel execution of planned trace shards.
+
+The unit of work is fixed by the *plan*, not by the pool: one shard per
+data center, each with its own spawned seed stream.  ``jobs`` only
+decides how many worker processes drain the task list, so any job count
+(including 1) produces bit-identical results.
+
+Workers are primed via the pool initializer: with the (preferred)
+``fork`` start method the plan is inherited copy-on-write and nothing is
+pickled on the way in; each worker ships back its shard's raw
+:class:`~repro.core.columns.ColumnStore` arrays, which the caller
+concatenates once.  Environments that cannot spawn processes at all
+fall back to in-process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Sequence
+
+#: Worker-side plan storage, set once per worker by the pool initializer.
+_WORKER_PLAN = None
+
+
+def _init_worker(shared, tasks) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = (shared, tasks)
+
+
+def _run_one(index: int):
+    from repro.simulation.trace import run_shard
+
+    shared, tasks = _WORKER_PLAN
+    return run_shard(tasks[index], shared)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_shards(tasks: Sequence, shared, jobs: int = 1) -> List:
+    """Execute every :class:`~repro.simulation.trace.ShardTask` and
+    return the :class:`~repro.simulation.trace.ShardResult` list in task
+    order.
+
+    ``jobs <= 1`` (or a single task) runs in-process; otherwise a pool
+    of ``min(jobs, len(tasks))`` workers drains the tasks.  Falls back
+    to in-process execution when the platform refuses to fork/spawn.
+    """
+    from repro.simulation.trace import run_shard
+
+    jobs = min(max(1, int(jobs)), len(tasks))
+    if jobs <= 1 or len(tasks) <= 1:
+        return [run_shard(task, shared) for task in tasks]
+    ctx = _pool_context()
+    try:
+        with ctx.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(shared, tasks)
+        ) as pool:
+            results = pool.map(_run_one, range(len(tasks)), chunksize=1)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
+        return [run_shard(task, shared) for task in tasks]
+    return sorted(results, key=lambda r: r.index)
+
+
+__all__ = ["run_shards"]

@@ -63,6 +63,24 @@ class OperatorModel:
             )
 
     # ------------------------------------------------------------------
+    def with_rng(self, rng: np.random.Generator) -> "OperatorModel":
+        """A clone drawing per-ticket randomness from ``rng``.
+
+        The per-line behaviour tables (review cycles, phases, operator
+        pools) are *shared* with the parent, not re-drawn — every shard
+        of a sharded run must see the same line behaviour or the same
+        ticket would close at different times depending on which shard
+        processed it.
+        """
+        clone = object.__new__(OperatorModel)
+        clone._rng = rng
+        clone._line_review = self._line_review
+        clone._line_phase = self._line_phase
+        clone._line_ft = self._line_ft
+        clone._line_ops = self._line_ops
+        return clone
+
+    # ------------------------------------------------------------------
     def _pick_operator(self, line: str) -> str:
         ops = self._line_ops.get(line)
         if not ops:

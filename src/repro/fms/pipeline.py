@@ -74,8 +74,15 @@ class FMSPipeline:
         detection: Optional[DetectionModel] = None,
         operators: Optional[OperatorModel] = None,
         repair: Optional[RepairModel] = None,
+        chain_id_base: int = 0,
     ):
+        """``fleet`` may be any object exposing a ``servers`` sequence
+        (the sharded engine passes a per-DC slice); a full
+        :class:`~repro.fleet.fleet.Fleet` is only required when
+        ``operators`` is left to the default.  ``chain_id_base`` offsets
+        FMS-grown repeat-chain ids so shards of one run never collide."""
         self.fleet = fleet
+        self.chain_id_base = int(chain_id_base)
         self.horizon = float(horizon_seconds)
         self._rng = rng
         self.lemon_rows = lemon_rows or set()
@@ -126,13 +133,23 @@ class FMSPipeline:
     ) -> FOTDataset:
         """Process every raw failure (plus the repeats they spawn) into
         a time-ordered FOT dataset."""
+        return FOTDataset.from_store(self.run_store(raw_events, warranty_seconds))
+
+    def run_store(
+        self,
+        raw_events: Sequence[RawFailure],
+        warranty_seconds: float,
+    ):
+        """Like :meth:`run` but return the raw
+        :class:`~repro.core.columns.ColumnStore` — the sharded engine
+        ships these arrays between processes and concatenates once."""
         queue = EventQueue()
         for raw in raw_events:
             queue.schedule(raw.time, raw)
 
         builder = ColumnBuilder()
         fot_id = 0
-        next_chain = 0
+        next_chain = self.chain_id_base
         chain_lengths: Dict[int, int] = {}
         servers = self.fleet.servers
 
@@ -254,7 +271,7 @@ class FMSPipeline:
                             ),
                         )
 
-        return FOTDataset.from_store(builder.build())
+        return builder.build()
 
 
 __all__ = ["FMSPipeline", "device_detail"]

@@ -33,11 +33,11 @@ StatFn = Callable[[FOTDataset], float]
 
 
 def _fixing_share(dataset: FOTDataset) -> float:
-    return overview.category_breakdown(dataset).fraction(FOTCategory.FIXING)
+    return overview.categories(dataset).fraction(FOTCategory.FIXING)
 
 
 def _hdd_share(dataset: FOTDataset) -> float:
-    return overview.component_breakdown(dataset).get(ComponentClass.HDD, 0.0)
+    return overview.components(dataset).get(ComponentClass.HDD, 0.0)
 
 
 def _mtbf_minutes(dataset: FOTDataset) -> float:

@@ -15,11 +15,22 @@ from the paper:
 
 Counts are Poisson given the intensity, and the per-class total is
 budget-scaled so the realized mix matches Table II.
+
+The sampler is **shard-aware**: :func:`sample_shard_failures` draws the
+failures of any server subset (one data center, in the sharded engine)
+given the *global* per-class budget scale from
+:func:`class_budget_scales` and the *fleet-wide* daily shock series from
+:func:`day_effect_series`.  Because daily counts are Poisson, sharding
+the fleet and summing per-shard draws leaves the distribution of every
+aggregate untouched (Poisson superposition), while the shared day
+effects preserve the fleet-wide common shocks behind Table V.
+:func:`sample_base_failures` keeps the original whole-fleet signature on
+top of the shard-aware core.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -47,80 +58,172 @@ def draw_frailty(n_servers: int, rng: np.random.Generator) -> np.ndarray:
     return np.minimum(raw, calibration.FRAILTY_CLIP)
 
 
-def sample_base_failures(
-    fleet: Fleet,
-    horizon_seconds: float,
-    budgets: Dict[ComponentClass, float],
+def permute_frailty(
     frailty: np.ndarray,
+    budgets: Mapping[ComponentClass, float],
+    rng: np.random.Generator,
+) -> Dict[ComponentClass, np.ndarray]:
+    """Per-class frailty vectors: the values of ``frailty`` permuted
+    independently per class.
+
+    Frailty is drawn per (class, server): a server with lemon drives
+    does not also have lemon DIMMs.  Keeping the *values* and permuting
+    per class preserves each class's concentration (Figure 7) while
+    keeping cross-class same-day coincidences rare — the paper finds
+    genuinely correlated component failures on only 0.49 % of failed
+    servers (Table VI).  HDD keeps the base draw (it dominates the
+    server-level concentration).
+    """
+    frailty_by_class = {cls: rng.permutation(frailty) for cls in budgets}
+    frailty_by_class[ComponentClass.HDD] = frailty
+    return frailty_by_class
+
+
+def horizon_months(horizon_seconds: float) -> int:
+    """Number of (possibly partial) simulation months in the horizon."""
+    n_days = int(horizon_seconds // DAY)
+    if n_days < _DAYS_PER_MONTH:
+        raise ValueError("horizon shorter than one month")
+    return (n_days + _DAYS_PER_MONTH - 1) // _DAYS_PER_MONTH
+
+
+def day_effect_series(
+    budgets: Mapping[ComponentClass, float],
+    horizon_seconds: float,
+    rng: np.random.Generator,
+) -> Dict[ComponentClass, np.ndarray]:
+    """Fleet-wide lognormal day effects (mean 1) per class and day.
+
+    These are the *common shocks* that overdisperse daily counts
+    (Table V); in a sharded run every shard must see the same series,
+    so they are drawn once by the planner, not per shard.
+    """
+    n_days = int(horizon_seconds // DAY)
+    out: Dict[ComponentClass, np.ndarray] = {}
+    for cls in budgets:
+        sigma = calibration.DAY_EFFECT_SIGMA[cls]
+        out[cls] = rng.lognormal(-0.5 * sigma**2, sigma, size=n_days)
+    return out
+
+
+def _month_age_service(
+    m: int, deployed: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Server ages (months) at mid-month ``m`` and the in-service
+    fraction of that month.  The deploy month is prorated, otherwise
+    mid-month deployments concentrate a full month of hazard into half a
+    month of exposure and fake an infant-mortality spike."""
+    month_mid = (m + 0.5) * MONTH
+    age_months = np.floor((month_mid - deployed) / MONTH)
+    in_service = np.clip(((m + 1) * MONTH - deployed) / MONTH, 0.0, 1.0)
+    return age_months, in_service
+
+
+def class_budget_scales(
+    deployed: np.ndarray,
+    slot_risk: np.ndarray,
+    counts_by_class: Mapping[ComponentClass, np.ndarray],
+    frailty_by_class: Mapping[ComponentClass, np.ndarray],
+    horizon_seconds: float,
+    budgets: Mapping[ComponentClass, float],
+) -> Dict[ComponentClass, float]:
+    """Global budget-to-intensity scale per class.
+
+    ``scale[cls] * lam`` turns the unnormalized per-server intensity
+    into an expected failure count whose fleet-wide total matches the
+    class budget.  Shards must all use this *global* scale — a per-shard
+    renormalization would force every shard to the same mix and erase
+    the real cross-DC variation.
+    """
+    n_months = horizon_months(horizon_seconds)
+    shapes = build_shapes()
+    static: Dict[ComponentClass, np.ndarray] = {}
+    for cls, budget in budgets.items():
+        if budget <= 0:
+            continue
+        weight = (
+            counts_by_class[cls].astype(float)
+            * frailty_by_class[cls]
+            * slot_risk
+        )
+        if float(weight.sum()) > 0.0:
+            static[cls] = weight
+    totals = {cls: 0.0 for cls in static}
+    for m in range(n_months):
+        age_months, in_service = _month_age_service(m, deployed)
+        for cls, weight in static.items():
+            lam = weight * shapes[cls](age_months) * in_service
+            totals[cls] += float(lam.sum())
+    return {
+        cls: budgets[cls] / total
+        for cls, total in totals.items()
+        if total > 0.0
+    }
+
+
+def sample_shard_failures(
+    *,
+    deployed: np.ndarray,
+    slot_risk: np.ndarray,
+    counts_by_class: Mapping[ComponentClass, np.ndarray],
+    frailty_by_class: Mapping[ComponentClass, np.ndarray],
+    horizon_seconds: float,
+    scales: Mapping[ComponentClass, float],
+    day_effects: Mapping[ComponentClass, np.ndarray],
     detection: DetectionModel,
     rng: np.random.Generator,
 ) -> List[RawFailure]:
-    """Sample the smooth (non-injected) part of the failure trace.
+    """Sample the smooth (non-injected) failures of one server subset.
+
+    ``server_row`` in the returned events indexes the *local* arrays
+    (``deployed`` etc.); the whole-fleet wrapper passes full-length
+    arrays so local == global there.
 
     Args:
-        fleet: The fleet to fail.
+        deployed / slot_risk / counts_by_class / frailty_by_class:
+            per-server columns of the subset.
         horizon_seconds: Trace length.
-        budgets: Expected number of failures per component class.
-        frailty: Per-server multipliers from :func:`draw_frailty`.
+        scales: Global per-class budget scales
+            (:func:`class_budget_scales`).
+        day_effects: Fleet-wide daily shock series
+            (:func:`day_effect_series`).
         detection: Supplies the temporal detection profiles.
-        rng: Random source.
+        rng: The shard's random stream.
 
     Returns:
         Unordered list of raw failures (callers sort or heapify).
     """
-    if frailty.shape != (len(fleet),):
-        raise ValueError("frailty must have one entry per server")
+    n_servers = int(deployed.size)
     n_days = int(horizon_seconds // DAY)
-    if n_days < _DAYS_PER_MONTH:
-        raise ValueError("horizon shorter than one month")
-    n_months = (n_days + _DAYS_PER_MONTH - 1) // _DAYS_PER_MONTH
-
-    shapes = build_shapes()
-    deployed = fleet.deployed_ats
-    slot_risk = fleet.slot_risk
-    # Frailty is drawn per (class, server): a server with lemon drives
-    # does not also have lemon DIMMs.  Keeping the *values* and permuting
-    # per class preserves each class's concentration (Figure 7) while
-    # keeping cross-class same-day coincidences rare — the paper finds
-    # genuinely correlated component failures on only 0.49 % of failed
-    # servers (Table VI).  HDD keeps the base draw (it dominates the
-    # server-level concentration).
-    frailty_by_class = {cls: rng.permutation(frailty) for cls in budgets}
-    frailty_by_class[ComponentClass.HDD] = frailty
+    n_months = horizon_months(horizon_seconds)
     events: List[RawFailure] = []
+    if n_servers == 0:
+        return events
+    shapes = build_shapes()
 
     day_indices = np.arange(n_days)
     dows = day_of_week(day_indices * DAY).astype(int)
 
-    for cls, budget in budgets.items():
-        if budget <= 0:
-            continue
+    for cls, scale in scales.items():
         shape = shapes[cls]
-        counts = fleet.counts_for(cls).astype(float)
+        counts = counts_by_class[cls].astype(float)
         static_weight = counts * frailty_by_class[cls] * slot_risk
         if float(static_weight.sum()) == 0.0:
             continue
 
-        # Month-resolved per-server intensities (unnormalized).  The
-        # deploy month is prorated by the in-service fraction, otherwise
-        # mid-month deployments concentrate a full month of hazard into
-        # half a month of exposure and fake an infant-mortality spike.
+        # Month-resolved per-server intensities (unnormalized).
         lam_by_month = []
         month_totals = np.zeros(n_months)
         for m in range(n_months):
-            month_mid = (m + 0.5) * MONTH
-            age_months = np.floor((month_mid - deployed) / MONTH)
-            in_service = np.clip(((m + 1) * MONTH - deployed) / MONTH, 0.0, 1.0)
+            age_months, in_service = _month_age_service(m, deployed)
             lam = static_weight * shape(age_months) * in_service
             lam_by_month.append(lam)
             month_totals[m] = lam.sum()
-        grand_total = month_totals.sum()
-        if grand_total == 0.0:
+        if month_totals.sum() == 0.0:
             continue
-        scale = budget / grand_total
 
         dow_w = detection.dow_weights(cls) * 7.0  # mean 1 over the week
-        sigma = calibration.DAY_EFFECT_SIGMA[cls]
+        effect_series = day_effects[cls]
 
         for m in range(n_months):
             if month_totals[m] == 0.0:
@@ -128,13 +231,12 @@ def sample_base_failures(
             d_lo = m * _DAYS_PER_MONTH
             d_hi = min(n_days, d_lo + _DAYS_PER_MONTH)
             days = day_indices[d_lo:d_hi]
-            day_effect = rng.lognormal(-0.5 * sigma**2, sigma, size=days.size)
             rates = (
                 month_totals[m]
                 * scale
                 / _DAYS_PER_MONTH
                 * dow_w[dows[d_lo:d_hi]]
-                * day_effect
+                * effect_series[d_lo:d_hi]
             )
             n_per_day = rng.poisson(rates)
             n_month = int(n_per_day.sum())
@@ -146,7 +248,7 @@ def sample_base_failures(
             rows = np.searchsorted(
                 cum, rng.random(n_month) * cum[-1], side="right"
             )
-            rows = np.minimum(rows, len(fleet) - 1)
+            rows = np.minimum(rows, n_servers - 1)
 
             day_for_event = np.repeat(days, n_per_day)
             tod = detection.sample_time_of_day(cls, n_month, rng)
@@ -180,4 +282,66 @@ def sample_base_failures(
     return events
 
 
-__all__ = ["sample_base_failures", "draw_frailty"]
+def sample_base_failures(
+    fleet: Fleet,
+    horizon_seconds: float,
+    budgets: Dict[ComponentClass, float],
+    frailty: np.ndarray,
+    detection: DetectionModel,
+    rng: np.random.Generator,
+    frailty_by_class: Optional[Dict[ComponentClass, np.ndarray]] = None,
+) -> List[RawFailure]:
+    """Sample the smooth (non-injected) part of the failure trace for a
+    whole fleet — the original single-process entry point, now a thin
+    wrapper over the shard-aware core.
+
+    Args:
+        fleet: The fleet to fail.
+        horizon_seconds: Trace length.
+        budgets: Expected number of failures per component class.
+        frailty: Per-server multipliers from :func:`draw_frailty`.
+        detection: Supplies the temporal detection profiles.
+        rng: Random source.
+        frailty_by_class: Pre-permuted per-class frailty (optional; drawn
+            from ``rng`` via :func:`permute_frailty` when omitted).
+
+    Returns:
+        Unordered list of raw failures (callers sort or heapify).
+    """
+    if frailty.shape != (len(fleet),):
+        raise ValueError("frailty must have one entry per server")
+    horizon_months(horizon_seconds)  # validates the horizon
+    if frailty_by_class is None:
+        frailty_by_class = permute_frailty(frailty, budgets, rng)
+    counts_by_class = {cls: fleet.counts_for(cls) for cls in budgets}
+    day_effects = day_effect_series(budgets, horizon_seconds, rng)
+    scales = class_budget_scales(
+        fleet.deployed_ats,
+        fleet.slot_risk,
+        counts_by_class,
+        frailty_by_class,
+        horizon_seconds,
+        budgets,
+    )
+    return sample_shard_failures(
+        deployed=fleet.deployed_ats,
+        slot_risk=fleet.slot_risk,
+        counts_by_class=counts_by_class,
+        frailty_by_class=frailty_by_class,
+        horizon_seconds=horizon_seconds,
+        scales=scales,
+        day_effects=day_effects,
+        detection=detection,
+        rng=rng,
+    )
+
+
+__all__ = [
+    "sample_base_failures",
+    "sample_shard_failures",
+    "class_budget_scales",
+    "day_effect_series",
+    "permute_frailty",
+    "horizon_months",
+    "draw_frailty",
+]

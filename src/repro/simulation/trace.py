@@ -1,37 +1,60 @@
-"""Top-level trace generation.
+"""Top-level trace generation, sharded by data center.
 
-:func:`generate_trace` wires the whole substrate together:
+:func:`generate_trace` wires the whole substrate together in three
+phases that together form the execution engine's unit of work:
 
-1. build the fleet from the (scaled) config;
-2. draw per-server frailty and pick the lemon servers;
-3. sample the base failure process (lifecycle × workload × day effects);
-4. inject batch storms, correlated pairs, the flapping BBU server and
-   the synchronous repeat groups;
-5. run everything through the FMS pipeline, which categorizes tickets,
-   samples operator responses and grows repeat chains.
+1. **plan** (:func:`plan_trace`) — build the fleet, the operator model
+   and every fleet-wide random input (frailty, lemons, budget scales,
+   daily common shocks, injected storms/pairs/flaps/sync groups,
+   monitoring rollout), then split the fleet into one
+   :class:`ShardTask` per data center.  Every shard gets its own child
+   seed from a :class:`numpy.random.SeedSequence` spawn tree rooted at
+   the scenario seed.
+2. **execute** (:func:`run_shard`) — sample the shard's base failures,
+   merge in its injected events, and run its FMS pipeline; each shard
+   returns raw :class:`~repro.core.columns.ColumnStore` arrays.
+3. **assemble** (:func:`finish_trace`) — concatenate the shard stores
+   once, time-sort, renumber ticket ids, and bundle the result.
 
-The result bundles the dataset with the fleet, the inventory table the
-analyses need for normalization, and the injectors' ground truth.
+Because a shard is *always* one data center — ``jobs`` only decides how
+many worker processes execute them — the sharded output is bit-identical
+to the serial output for the same scenario seed.  Fleet-wide couplings
+survive sharding by construction: the per-class budget scale and the
+daily lognormal shocks are computed once in the plan and shared by all
+shards (Poisson superposition keeps every aggregate's distribution
+intact), and the operator model's per-line behaviour tables are drawn
+once and cloned per shard with :meth:`OperatorModel.with_rng`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import ScenarioConfig, paper_scenario
+from repro.core.columns import COLUMN_NAMES, TABLE_NAMES, ColumnBuilder, ColumnStore
 from repro.core.dataset import FOTDataset
 from repro.core.timeutil import YEAR
 from repro.core.types import ComponentClass
 from repro.fleet.builder import build_fleet
 from repro.fleet.fleet import Fleet
 from repro.fleet.inventory import Inventory
+from repro.fleet.server import Server
 from repro.fms.detectors import DetectionModel
+from repro.fms.operators import OperatorModel
 from repro.fms.pipeline import FMSPipeline
+from repro.fms.repair import RepairModel
 from repro.simulation import calibration
-from repro.simulation.base_process import draw_frailty, sample_base_failures
+from repro.simulation.base_process import (
+    class_budget_scales,
+    day_effect_series,
+    draw_frailty,
+    permute_frailty,
+    sample_shard_failures,
+)
 from repro.simulation.batch_events import StormRecord, inject_batch_events
 from repro.simulation.correlated import (
     InjectionRecord,
@@ -40,6 +63,10 @@ from repro.simulation.correlated import (
     inject_synchronous_groups,
 )
 from repro.simulation.events import RawFailure
+
+#: FMS-grown repeat chains of shard *i* are numbered from
+#: ``i * CHAIN_ID_STRIDE`` so chain ids stay globally unique.
+CHAIN_ID_STRIDE = 1_000_000_000
 
 
 @dataclass
@@ -55,7 +82,8 @@ class SyntheticTrace:
         config: The scenario that produced the trace.
         storms: Ground truth of injected batch events.
         injections: Ground truth of correlated/repeat injections.
-        fms_stats: Pipeline counters (events in, repeats scheduled, ...).
+        fms_stats: Pipeline counters (events in, repeats scheduled, ...),
+            summed over shards.
     """
 
     dataset: FOTDataset
@@ -97,96 +125,351 @@ def apply_monitoring_rollout(
     are lost (nobody saw them), manual miscellaneous reports survive
     (humans do not need agents).
     """
-    if config.monitoring_rollout_years <= 0:
+    monitored_since = _monitored_since(len(fleet), config, rng)
+    if monitored_since is None:
         return events
+    return _filter_monitored(events, monitored_since)
+
+
+def _monitored_since(
+    n_servers: int, config: ScenarioConfig, rng: np.random.Generator
+) -> Optional[np.ndarray]:
+    """Per-server monitored-since times, or ``None`` without a rollout."""
+    if config.monitoring_rollout_years <= 0:
+        return None
     c0 = config.monitoring_initial_coverage
     ramp_seconds = config.monitoring_rollout_years * YEAR
-    u = rng.random(len(fleet))
-    monitored_since = np.where(
+    u = rng.random(n_servers)
+    return np.where(
         u < c0,
         0.0,
         ramp_seconds * (u - c0) / max(1.0 - c0, 1e-12),
     )
-    kept = [
+
+
+def _filter_monitored(
+    events: List[RawFailure], monitored_since: np.ndarray
+) -> List[RawFailure]:
+    return [
         e
         for e in events
         if e.component is ComponentClass.MISC
         or e.time >= monitored_since[e.server_row]
     ]
-    return kept
 
 
-def generate_trace(config: ScenarioConfig) -> SyntheticTrace:
-    """Generate one synthetic four-year trace from a scenario config."""
-    rng = np.random.default_rng(config.seed)
-    fleet = build_fleet(config.scaled_fleet(), rng)
+# ----------------------------------------------------------------------
+# plan
+# ----------------------------------------------------------------------
+@dataclass
+class ShardShared:
+    """Fleet-wide inputs every shard reads (one object, shared)."""
+
+    horizon_seconds: float
+    warranty_seconds: float
+    scales: Dict[ComponentClass, float]
+    day_effects: Dict[ComponentClass, np.ndarray]
+    detection: DetectionModel
+    operators: OperatorModel
+
+
+@dataclass
+class ShardTask:
+    """Everything one data-center shard needs, self-contained so a
+    worker process can execute it without the fleet object graph."""
+
+    index: int
+    idc: str
+    rows: np.ndarray  # global server rows of this DC, ascending
+    servers: Tuple[Server, ...]
+    deployed: np.ndarray
+    slot_risk: np.ndarray
+    counts_by_class: Dict[ComponentClass, np.ndarray]
+    frailty_by_class: Dict[ComponentClass, np.ndarray]
+    lemon_local: Tuple[int, ...]
+    monitored_since: Optional[np.ndarray]
+    injected: Tuple[RawFailure, ...]  # server_row already shard-local
+    seed: np.random.SeedSequence
+
+
+@dataclass
+class ShardResult:
+    """One executed shard: raw columns plus pipeline counters."""
+
+    index: int
+    n: int
+    arrays: Dict[str, np.ndarray]
+    tables: Dict[str, Tuple[str, ...]]
+    stats: Dict[str, int]
+
+
+@dataclass
+class TracePlan:
+    """The planned run: fleet-wide state plus one task per data center."""
+
+    config: ScenarioConfig
+    fleet: Fleet
+    shared: ShardShared
+    tasks: List[ShardTask]
+    storms: List[StormRecord]
+    injections: List[InjectionRecord]
+
+
+class _ServerSlice:
+    """Minimal fleet stand-in for the FMS pipeline: just the servers."""
+
+    __slots__ = ("servers",)
+
+    def __init__(self, servers: Tuple[Server, ...]):
+        self.servers = servers
+
+
+def plan_trace(config: ScenarioConfig) -> TracePlan:
+    """Phase 1: build the fleet and all fleet-wide random state, then
+    split the run into one :class:`ShardTask` per data center.
+
+    The seed tree is spawned from ``SeedSequence(config.seed)``:
+    children 0-2 seed the fleet builder, the operator model and the
+    global stream (frailty, lemons, day effects, injections, rollout);
+    children 3.. seed one shard each.  Identical for any ``jobs``.
+    """
+    root = np.random.SeedSequence(config.seed)
+    fleet_seed, model_seed, global_seed = root.spawn(3)
+
+    fleet = build_fleet(config.scaled_fleet(), np.random.default_rng(fleet_seed))
     detection = DetectionModel()
+    operators = OperatorModel(fleet, np.random.default_rng(model_seed))
 
-    frailty = draw_frailty(len(fleet), rng)
+    grng = np.random.default_rng(global_seed)
+    frailty = draw_frailty(len(fleet), grng)
     n_lemons = max(1, int(round(calibration.LEMON_FRACTION * len(fleet))))
     lemon_rows = set(
-        int(r) for r in rng.choice(len(fleet), size=n_lemons, replace=False)
+        int(r) for r in grng.choice(len(fleet), size=n_lemons, replace=False)
     )
 
-    events: List[RawFailure] = sample_base_failures(
-        fleet,
-        config.horizon_seconds,
-        _class_budgets(config),
-        frailty,
-        detection,
-        rng,
-    )
+    budgets = _class_budgets(config)
+    frailty_by_class = permute_frailty(frailty, budgets, grng)
+    day_effects = day_effect_series(budgets, config.horizon_seconds, grng)
 
+    injected: List[RawFailure] = []
     storm_events, storms = inject_batch_events(
-        fleet, config.horizon_seconds, config.scale, rng
+        fleet, config.horizon_seconds, config.scale, grng
     )
-    events.extend(storm_events)
+    injected.extend(storm_events)
 
     injections: List[InjectionRecord] = []
     pair_events, pair_records = inject_correlated_pairs(
-        fleet, config.horizon_seconds, config.scale, rng
+        fleet, config.horizon_seconds, config.scale, grng
     )
-    events.extend(pair_events)
+    injected.extend(pair_events)
     injections.extend(pair_records)
 
     flap_events, flap_record = inject_flapping_server(
-        fleet, config.horizon_seconds, config.scale, rng
+        fleet, config.horizon_seconds, config.scale, grng
     )
-    events.extend(flap_events)
+    injected.extend(flap_events)
     if flap_record is not None:
         injections.append(flap_record)
 
     sync_events, sync_records = inject_synchronous_groups(
-        fleet, config.horizon_seconds, config.scale, rng
+        fleet, config.horizon_seconds, config.scale, grng
     )
-    events.extend(sync_events)
+    injected.extend(sync_events)
     injections.extend(sync_records)
 
-    events = apply_monitoring_rollout(events, fleet, config, rng)
+    monitored_since = _monitored_since(len(fleet), config, grng)
 
-    pipeline = FMSPipeline(
-        fleet,
+    counts_by_class = {cls: fleet.counts_for(cls) for cls in budgets}
+    scales = class_budget_scales(
+        fleet.deployed_ats,
+        fleet.slot_risk,
+        counts_by_class,
+        frailty_by_class,
         config.horizon_seconds,
-        rng,
-        lemon_rows=lemon_rows,
-        detection=detection,
+        budgets,
     )
-    warranty_seconds = config.fleet.warranty_years * YEAR
-    dataset = pipeline.run(events, warranty_seconds)
 
-    return SyntheticTrace(
-        dataset=dataset,
-        fleet=fleet,
-        inventory=fleet.to_inventory(),
+    shared = ShardShared(
+        horizon_seconds=config.horizon_seconds,
+        warranty_seconds=config.fleet.warranty_years * YEAR,
+        scales=scales,
+        day_effects=day_effects,
+        detection=detection,
+        operators=operators,
+    )
+
+    # ------------------------------------------------------------------
+    # split by data center
+    # ------------------------------------------------------------------
+    idc_codes = fleet.idc_codes
+    n_dcs = len(fleet.datacenters)
+    local_pos = np.empty(len(fleet), dtype=np.int64)
+    rows_by_dc: List[np.ndarray] = []
+    for i in range(n_dcs):
+        rows = np.flatnonzero(idc_codes == i)
+        local_pos[rows] = np.arange(rows.size)
+        rows_by_dc.append(rows)
+
+    injected_by_dc: List[List[RawFailure]] = [[] for _ in range(n_dcs)]
+    for event in injected:
+        dc = int(idc_codes[event.server_row])
+        injected_by_dc[dc].append(
+            dataclasses.replace(event, server_row=int(local_pos[event.server_row]))
+        )
+
+    shard_seeds = root.spawn(n_dcs)
+    tasks: List[ShardTask] = []
+    for i, dc in enumerate(fleet.datacenters):
+        rows = rows_by_dc[i]
+        tasks.append(
+            ShardTask(
+                index=i,
+                idc=dc.name,
+                rows=rows,
+                servers=tuple(fleet.servers[r] for r in rows),
+                deployed=fleet.deployed_ats[rows],
+                slot_risk=fleet.slot_risk[rows],
+                counts_by_class={
+                    cls: counts[rows] for cls, counts in counts_by_class.items()
+                },
+                frailty_by_class={
+                    cls: values[rows] for cls, values in frailty_by_class.items()
+                },
+                lemon_local=tuple(
+                    int(local_pos[r]) for r in sorted(lemon_rows) if idc_codes[r] == i
+                ),
+                monitored_since=(
+                    None if monitored_since is None else monitored_since[rows]
+                ),
+                injected=tuple(injected_by_dc[i]),
+                seed=shard_seeds[i],
+            )
+        )
+
+    return TracePlan(
         config=config,
+        fleet=fleet,
+        shared=shared,
+        tasks=tasks,
         storms=storms,
         injections=injections,
-        fms_stats=dict(pipeline.stats),
     )
+
+
+# ----------------------------------------------------------------------
+# execute
+# ----------------------------------------------------------------------
+def run_shard(task: ShardTask, shared: ShardShared) -> ShardResult:
+    """Phase 2: execute one data-center shard.
+
+    Deterministic given (task, shared): the shard rng comes from the
+    task's spawned seed, so results do not depend on which process (or
+    in which order) shards run.
+    """
+    rng = np.random.default_rng(task.seed)
+    events = sample_shard_failures(
+        deployed=task.deployed,
+        slot_risk=task.slot_risk,
+        counts_by_class=task.counts_by_class,
+        frailty_by_class=task.frailty_by_class,
+        horizon_seconds=shared.horizon_seconds,
+        scales=shared.scales,
+        day_effects=shared.day_effects,
+        detection=shared.detection,
+        rng=rng,
+    )
+    events.extend(task.injected)
+    if task.monitored_since is not None:
+        events = _filter_monitored(events, task.monitored_since)
+
+    pipeline = FMSPipeline(
+        _ServerSlice(task.servers),
+        shared.horizon_seconds,
+        rng,
+        lemon_rows=set(task.lemon_local),
+        detection=shared.detection,
+        operators=shared.operators.with_rng(rng),
+        repair=RepairModel(rng),
+        chain_id_base=task.index * CHAIN_ID_STRIDE,
+    )
+    store = pipeline.run_store(events, shared.warranty_seconds)
+    return ShardResult(
+        index=task.index,
+        n=store.n,
+        arrays={name: store.column(name) for name in COLUMN_NAMES},
+        tables={name: store.table(name) for name in TABLE_NAMES},
+        stats=dict(pipeline.stats),
+    )
+
+
+# ----------------------------------------------------------------------
+# assemble
+# ----------------------------------------------------------------------
+def assemble_store(results: Sequence[ShardResult]) -> ColumnStore:
+    """Phase 3a: merge shard columns into one time-ordered store.
+
+    Shards are concatenated in index order (so the sort is reproducible
+    regardless of completion order), stable-sorted by error time, and
+    ticket ids renumbered 0..n-1 over the merged trace.
+    """
+    ordered = sorted(results, key=lambda r: r.index)
+    parts = []
+    for r in ordered:
+        if r.n == 0:
+            continue
+        store = ColumnStore.from_columns(r.n, dict(r.arrays), dict(r.tables))
+        parts.append((store, np.arange(r.n, dtype=np.int64)))
+    if not parts:
+        return ColumnBuilder().build()
+    merged = ColumnStore.concatenate(parts)
+    order = np.argsort(merged.column("error_times"), kind="stable")
+    arrays: Dict[str, np.ndarray] = {}
+    for name in COLUMN_NAMES:
+        if name == "fot_ids":
+            arrays[name] = np.arange(merged.n, dtype=np.int64)
+        else:
+            arrays[name] = merged.column(name)[order]
+    tables = {name: merged.table(name) for name in TABLE_NAMES}
+    return ColumnStore.from_columns(merged.n, arrays, tables)
+
+
+def finish_trace(plan: TracePlan, results: Sequence[ShardResult]) -> SyntheticTrace:
+    """Phase 3b: bundle assembled shard results into a trace."""
+    stats: Dict[str, int] = {}
+    for r in results:
+        for key, value in r.stats.items():
+            stats[key] = stats.get(key, 0) + value
+    store = assemble_store(results)
+    return SyntheticTrace(
+        dataset=FOTDataset.from_store(store),
+        fleet=plan.fleet,
+        inventory=plan.fleet.to_inventory(),
+        config=plan.config,
+        storms=plan.storms,
+        injections=plan.injections,
+        fms_stats=stats,
+    )
+
+
+def generate_trace(config: ScenarioConfig, jobs: int = 1) -> SyntheticTrace:
+    """Generate one synthetic four-year trace from a scenario config.
+
+    ``jobs > 1`` executes the per-DC shards on a process pool
+    (:mod:`repro.engine.parallel`); the output is bit-identical to
+    ``jobs=1`` for the same scenario seed.
+    """
+    plan = plan_trace(config)
+    if jobs > 1:
+        from repro.engine.parallel import run_shards
+
+        results = run_shards(plan.tasks, plan.shared, jobs=jobs)
+    else:
+        results = [run_shard(task, plan.shared) for task in plan.tasks]
+    return finish_trace(plan, results)
 
 
 def generate_paper_trace(
-    scale: float = 1.0, seed: int = 20170626
+    scale: float = 1.0, seed: int = 20170626, jobs: int = 1
 ) -> SyntheticTrace:
     """Generate the calibrated paper scenario (optionally scaled down).
 
@@ -194,11 +477,20 @@ def generate_paper_trace(
     centers; ``scale=0.05`` is a comfortable laptop-sized trace with the
     same per-server statistics.
     """
-    return generate_trace(paper_scenario(scale=scale, seed=seed))
+    return generate_trace(paper_scenario(scale=scale, seed=seed), jobs=jobs)
 
 
 __all__ = [
     "SyntheticTrace",
+    "TracePlan",
+    "ShardTask",
+    "ShardShared",
+    "ShardResult",
+    "CHAIN_ID_STRIDE",
+    "plan_trace",
+    "run_shard",
+    "assemble_store",
+    "finish_trace",
     "generate_trace",
     "generate_paper_trace",
     "apply_monitoring_rollout",

@@ -68,7 +68,7 @@ def validate_trace(
         checks.append(Check(name, float(target), float(measured), tol * slack))
 
     # Table I.
-    cats = overview.category_breakdown(ds)
+    cats = overview.categories(ds)
     split = targets["category_split"]
     add("table1.d_fixing", split["d_fixing"],
         cats.fraction(FOTCategory.FIXING), 0.08)
@@ -78,7 +78,7 @@ def validate_trace(
         cats.fraction(FOTCategory.FALSE_ALARM), 0.25)
 
     # Table II (head of the ranking).
-    shares = overview.component_breakdown(ds)
+    shares = overview.components(ds)
     add("table2.hdd_share", targets["hdd_share"],
         shares.get(ComponentClass.HDD, 0.0), 0.06)
     add("table2.misc_share", calibration.COMPONENT_MIX[ComponentClass.MISC],

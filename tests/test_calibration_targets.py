@@ -29,7 +29,7 @@ class TestCalibrationSanity:
 
 class TestTableI:
     def test_category_split(self, small_dataset):
-        cats = overview.category_breakdown(small_dataset)
+        cats = overview.categories(small_dataset)
         target = calibration.PAPER_TARGETS["category_split"]
         assert cats.fraction(FOTCategory.FIXING) == pytest.approx(
             target["d_fixing"], abs=0.12
@@ -44,13 +44,13 @@ class TestTableI:
 
 class TestTableII:
     def test_top_shares(self, small_dataset):
-        shares = overview.component_breakdown(small_dataset)
+        shares = overview.components(small_dataset)
         assert shares[ComponentClass.HDD] == pytest.approx(0.8184, abs=0.08)
         assert shares[ComponentClass.MISC] == pytest.approx(0.102, abs=0.04)
         assert shares.get(ComponentClass.MEMORY, 0) == pytest.approx(0.0306, abs=0.02)
 
     def test_full_ranking_plausible(self, small_dataset):
-        shares = overview.component_breakdown(small_dataset)
+        shares = overview.components(small_dataset)
         ranked = list(shares)
         assert ranked[0] is ComponentClass.HDD
         assert ranked[1] is ComponentClass.MISC

@@ -1,0 +1,164 @@
+"""Analysis cache: content-keyed hits, misses and invalidation.
+
+Disk-tier tests use ``tmp_path`` so they are safe under ``pytest -n
+auto``: every worker gets its own cache directory.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis import overview
+from repro.engine.cache import AnalysisCache
+from repro.core.types import ComponentClass
+
+
+def _calls(counter):
+    def fn(dataset, **params):
+        counter.append(params)
+        return len(dataset)
+    fn.__module__ = "tests.cachefn"
+    fn.__qualname__ = "counting_fn"
+    return fn
+
+
+class TestMemoryTier:
+    def test_hit_on_same_view(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        first = cache.call(fn, small_dataset)
+        second = cache.call(fn, small_dataset)
+        assert first == second == len(small_dataset)
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_miss_on_filter(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, small_dataset)
+        filtered = small_dataset.of_component(ComponentClass.HDD)
+        cache.call(fn, filtered)
+        assert len(calls) == 2
+
+    def test_miss_on_take(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        half = small_dataset[: len(small_dataset) // 2]
+        cache.call(fn, small_dataset)
+        cache.call(fn, half)
+        cache.call(fn, half)
+        assert len(calls) == 2
+
+    def test_miss_on_concat(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        mid = len(small_dataset) // 2
+        rejoined = small_dataset[:mid].concat(small_dataset[mid:])
+        cache.call(fn, small_dataset)
+        cache.call(fn, rejoined)
+        # Same logical rows, but a different view identity: the key is
+        # conservative, so this recomputes rather than risking a stale hit.
+        assert len(calls) == 2
+
+    def test_params_key(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, small_dataset, component=ComponentClass.HDD)
+        cache.call(fn, small_dataset, component=ComponentClass.SSD)
+        cache.call(fn, small_dataset, component=ComponentClass.HDD)
+        assert len(calls) == 2
+
+    def test_distinct_functions_dont_collide(self, small_dataset):
+        cache = AnalysisCache()
+        a = cache.call(overview.categories, small_dataset)
+        b = cache.call(overview.components, small_dataset)
+        assert type(a).__name__ == "CategoryBreakdown"
+        assert type(b).__name__ == "ComponentShares"
+
+    def test_lru_eviction(self, small_dataset):
+        cache = AnalysisCache(max_entries=2)
+        calls = []
+        fn = _calls(calls)
+        for tag in ("a", "b", "c"):
+            cache.call(fn, small_dataset, tag=tag)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.call(fn, small_dataset, tag="a")  # evicted -> recompute
+        assert len(calls) == 4
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            AnalysisCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_survives_fresh_cache(self, small_dataset, tmp_path):
+        calls = []
+        fn = _calls(calls)
+        warm = AnalysisCache(directory=tmp_path)
+        warm.call(fn, small_dataset)
+        cold = AnalysisCache(directory=tmp_path)
+        cold.call(fn, small_dataset)
+        assert len(calls) == 1
+        assert cold.stats.disk_hits == 1
+
+    def test_corrupted_entry_is_miss(self, small_dataset, tmp_path):
+        calls = []
+        fn = _calls(calls)
+        cache = AnalysisCache(directory=tmp_path)
+        cache.call(fn, small_dataset)
+        for path in tmp_path.glob("*/*.pkl"):
+            path.write_bytes(b"not a pickle")
+        fresh = AnalysisCache(directory=tmp_path)
+        fresh.call(fn, small_dataset)
+        assert len(calls) == 2
+        assert fresh.stats.errors == 1
+
+    def test_unpicklable_degrades_to_memory(self, small_dataset, tmp_path):
+        cache = AnalysisCache(directory=tmp_path)
+
+        def fn(dataset):
+            return lambda: None  # unpicklable
+
+        fn.__module__, fn.__qualname__ = "tests.cachefn", "unpicklable"
+        out = cache.call(fn, small_dataset)
+        assert callable(out)
+        assert cache.stats.errors == 1
+        assert cache.call(fn, small_dataset) is out  # memory tier still hits
+
+    def test_clear_disk(self, small_dataset, tmp_path):
+        calls = []
+        fn = _calls(calls)
+        cache = AnalysisCache(directory=tmp_path)
+        cache.call(fn, small_dataset)
+        cache.clear(disk=True)
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*/*.pkl"))
+        cache.call(fn, small_dataset)
+        assert len(calls) == 2
+
+    def test_results_picklable_end_to_end(self, small_dataset, tmp_path):
+        cache = AnalysisCache(directory=tmp_path)
+        result = cache.call(overview.components, small_dataset)
+        fresh = AnalysisCache(directory=tmp_path)
+        again = fresh.call(overview.components, small_dataset)
+        assert fresh.stats.disk_hits == 1
+        assert pickle.loads(pickle.dumps(result)).shares == again.shares
+
+
+class TestFingerprints:
+    def test_view_fingerprint_changes_with_rows(self, small_dataset):
+        full = small_dataset.fingerprint()
+        sub = small_dataset[:10].fingerprint()
+        assert full != sub
+        assert small_dataset.fingerprint() == full  # memoized + stable
+
+    def test_same_content_same_fingerprint(self, small_dataset):
+        a = small_dataset[: len(small_dataset) // 2]
+        b = small_dataset[: len(small_dataset) // 2]
+        assert a.fingerprint() == b.fingerprint()
