@@ -28,7 +28,7 @@ def test_table5_batch(benchmark, dataset):
     emit(
         "table5_batch_full",
         report.format_table(
-            ["component"] + [f"r{n}" for n in thresholds],
+            ["component", *(f"r{n}" for n in thresholds)],
             rows,
             title=f"Table V at scale {BENCH_SCALE} "
                   f"(thresholds {thresholds})",

@@ -15,6 +15,7 @@ compare cleanly.
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from dataclasses import dataclass
 from typing import List, Tuple
@@ -146,12 +147,10 @@ def compare_datasets(left: FOTDataset, right: FOTDataset) -> DatasetComparison:
         stats = response.rt_distribution(ds, FOTCategory.FIXING)
         return stats.mean_days / max(stats.median_days, 1e-9)
 
-    try:
+    with contextlib.suppress(ValueError):
         metrics.append(
             MetricComparison("rt:mean_over_median", rt_shape(left), rt_shape(right))
         )
-    except ValueError:
-        pass
 
     dow_l = _profile_or_uniform(left, ComponentClass.HDD,
                                 temporal.day_of_week_profile, 7)

@@ -17,6 +17,7 @@ content fingerprint — it is always computed, never cached.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -166,10 +167,8 @@ def quality_notes(dataset: FOTDataset) -> str:
     quality = DataQuality.assess(dataset)
     # Probe the degradation-aware analyses so their exclusions show up.
     for category in (FOTCategory.FIXING, FOTCategory.FALSE_ALARM):
-        try:
+        with contextlib.suppress(ValueError):
             response.rt_distribution(dataset, category, quality=quality)
-        except ValueError:
-            pass
     if quality.grade == "ok" and not quality.exclusions:
         return ""
     return quality.format()

@@ -21,8 +21,14 @@ to serial), and ``cache`` threads an
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.config import ScenarioConfig
+    from repro.simulation.trace import SyntheticTrace
 
 from repro.analysis import (
     batch,
@@ -45,6 +51,7 @@ from repro.core.dataset import FOTDataset
 from repro.core.types import FOTCategory
 from repro.engine import AnalysisCache
 from repro.robustness.quality import DataQuality
+from repro.robustness.quarantine import QuarantineReport
 from repro.simulation.trace import generate_trace
 
 __all__ = [
@@ -68,7 +75,7 @@ __all__ = [
 ]
 
 
-def load(path, *, lenient: bool = False) -> FOTDataset:
+def load(path: Union[str, Path], *, lenient: bool = False) -> FOTDataset:
     """Load a ticket dump (.jsonl or .csv).
 
     Strict by default: malformed lines raise ``ValueError``.  With
@@ -87,7 +94,7 @@ class AuditResult:
     """A lenient load plus its data-quality audit."""
 
     dataset: FOTDataset
-    quarantine: Any
+    quarantine: QuarantineReport
     quality: DataQuality
 
     @property
@@ -102,7 +109,7 @@ class AuditResult:
         ]
 
 
-def audit(path) -> AuditResult:
+def audit(path: Union[str, Path]) -> AuditResult:
     """Leniently load ``path`` and assess what survived.
 
     Raises ``ValueError`` for structurally unreadable dumps (unknown
@@ -113,15 +120,18 @@ def audit(path) -> AuditResult:
     # Probe the degradation-aware analyses so their exclusions show up
     # in the assessment even though the statistics are discarded here.
     for category in (FOTCategory.FIXING, FOTCategory.FALSE_ALARM):
-        try:
+        with contextlib.suppress(ValueError):
             response.rt_distribution(dataset, category, quality=quality)
-        except ValueError:
-            pass
     return AuditResult(dataset=dataset, quarantine=quarantine, quality=quality)
 
 
-def simulate(scenario=None, *, scale: float = 1.0, seed: int = 20170626,
-             jobs: int = 1):
+def simulate(
+    scenario: Optional["ScenarioConfig"] = None,
+    *,
+    scale: float = 1.0,
+    seed: int = 20170626,
+    jobs: int = 1,
+) -> "SyntheticTrace":
     """Generate a synthetic FOT trace.
 
     Args:

@@ -229,6 +229,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _strip_separator(extra: Sequence[str]) -> Sequence[str]:
+    """Drop the optional '--' REMAINDER separator."""
+    return extra[1:] if extra and extra[0] == "--" else extra
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    return lint_main(_strip_separator(args.lint_args))
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.devtools.sanitize import main as sanitize_main
+
+    return sanitize_main(_strip_separator(args.sanitize_args))
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -365,6 +382,28 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=20170626)
     _add_jobs_flag(check)
     check.set_defaults(func=_cmd_selfcheck)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo-specific AST invariant checker "
+        "(see 'fouryears lint -- --help' for its own flags)",
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="arguments forwarded to python -m repro.devtools.lint",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run all analyses under runtime immutability/fingerprint "
+        "guards (see 'fouryears sanitize -- --help')",
+    )
+    sanitize.add_argument(
+        "sanitize_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="arguments forwarded to python -m repro.devtools.sanitize",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
     return parser
 
 

@@ -26,6 +26,7 @@ tests can assert that subsetting and grouping allocate no tickets.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -87,13 +88,48 @@ _INTERNED = {
     "operator_id_codes": ("operator_id", "operator_id", True),
 }
 
-COLUMN_NAMES: Tuple[str, ...] = tuple(
-    list(_NUMERIC_BUILDERS) + list(_OBJECT_BUILDERS) + list(_INTERNED)
+COLUMN_NAMES: Tuple[str, ...] = (
+    *_NUMERIC_BUILDERS, *_OBJECT_BUILDERS, *_INTERNED,
 )
 
 TABLE_NAMES: Tuple[str, ...] = tuple(spec[0] for spec in _INTERNED.values())
 
 _TABLE_TO_CODES = {spec[0]: codes_name for codes_name, spec in _INTERNED.items()}
+
+
+def compute_fingerprint(store: "ColumnStore") -> str:
+    """Content hash of a store, computed *fresh* (never memoized).
+
+    Covers every numeric/code column (raw bytes), the interned string
+    tables and the plain string columns.  The free-form ``details`` dict
+    column is deliberately **excluded**: it carries generator
+    ground-truth (tags, chain ids) that no analysis reads, and hashing
+    arbitrary dicts stably is not worth the cost.  Two stores with
+    identical ticket content therefore share a fingerprint even when
+    built independently.
+
+    :meth:`ColumnStore.fingerprint` memoizes this; the runtime sanitizer
+    (:mod:`repro.devtools.sanitize`) calls it directly to detect
+    content drift behind a stale memo.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(store.n).encode())
+    for name in COLUMN_NAMES:
+        if name == "details":
+            continue
+        column = store.column(name)
+        digest.update(name.encode())
+        if column.dtype == object:
+            for value in column:
+                digest.update(str(value).encode())
+                digest.update(b"\x1e")
+        else:
+            digest.update(str(column.dtype).encode())
+            digest.update(np.ascontiguousarray(column).tobytes())
+    for table_name in TABLE_NAMES:
+        digest.update(table_name.encode())
+        digest.update("\x1f".join(store.table(table_name)).encode())
+    return digest.hexdigest()
 
 
 class ColumnStore:
@@ -120,7 +156,7 @@ class ColumnStore:
         tables: Dict[str, Tuple[str, ...]],
         table_index: Dict[str, Dict[str, int]],
         ticket_cache: np.ndarray,
-    ):
+    ) -> None:
         self.n = int(n)
         self.n_materialized = 0
         self._arrays = arrays
@@ -182,7 +218,7 @@ class ColumnStore:
         the interned code columns through a shared table.  Tickets
         already materialized in a part stay shared (no re-allocation)."""
         arrays: Dict[str, np.ndarray] = {}
-        for name in list(_NUMERIC_BUILDERS) + list(_OBJECT_BUILDERS):
+        for name in (*_NUMERIC_BUILDERS, *_OBJECT_BUILDERS):
             chunks = [store.column(name)[idx] for store, idx in parts]
             dtype = _NUMERIC_BUILDERS[name][0] if name in _NUMERIC_BUILDERS else object
             arrays[name] = (
@@ -299,37 +335,11 @@ class ColumnStore:
     # content fingerprint
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:
-        """Content hash of the store, memoized on first use.
-
-        Covers every numeric/code column (raw bytes), the interned
-        string tables and the plain string columns.  The free-form
-        ``details`` dict column is deliberately **excluded**: it carries
-        generator ground-truth (tags, chain ids) that no analysis reads,
-        and hashing arbitrary dicts stably is not worth the cost.  Two
-        stores with identical ticket content therefore share a
-        fingerprint even when built independently.
-        """
+        """Content hash of the store (see :func:`compute_fingerprint`),
+        memoized on first use — columns are immutable, so the memo can
+        never go stale."""
         if self._fingerprint is None:
-            import hashlib
-
-            digest = hashlib.sha256()
-            digest.update(str(self.n).encode())
-            for name in COLUMN_NAMES:
-                if name == "details":
-                    continue
-                column = self.column(name)
-                digest.update(name.encode())
-                if column.dtype == object:
-                    for value in column:
-                        digest.update(str(value).encode())
-                        digest.update(b"\x1e")
-                else:
-                    digest.update(str(column.dtype).encode())
-                    digest.update(np.ascontiguousarray(column).tobytes())
-            for table_name in TABLE_NAMES:
-                digest.update(table_name.encode())
-                digest.update("\x1f".join(self.table(table_name)).encode())
-            self._fingerprint = digest.hexdigest()
+            self._fingerprint = compute_fingerprint(self)
         return self._fingerprint
 
     # ------------------------------------------------------------------
@@ -541,6 +551,7 @@ class ColumnBuilder:
             column = np.empty(n, dtype=object)
             for i, value in enumerate(values):
                 column[i] = value
+            column.setflags(write=False)
             arrays[name] = column
         tables = {
             "idc": tuple(self._idc.table),
@@ -564,4 +575,5 @@ __all__ = [
     "TABLE_NAMES",
     "ColumnStore",
     "ColumnBuilder",
+    "compute_fingerprint",
 ]

@@ -20,9 +20,21 @@ via :mod:`repro.core.io` behaves identically to the synthetic trace.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    overload,
+)
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.columns import (
     CATEGORY_CODE,
@@ -49,7 +61,7 @@ class FOTDataset:
     :class:`~repro.core.columns.ColumnBuilder` (loaders, pipeline).
     """
 
-    def __init__(self, tickets: "object" = ()):
+    def __init__(self, tickets: Iterable[FOT] = ()) -> None:
         self._store = ColumnStore.from_tickets(tickets)
         self._indices: Optional[np.ndarray] = None
         self._cols: Dict[str, np.ndarray] = {}
@@ -162,7 +174,13 @@ class FOTDataset:
             for row in self._indices:
                 yield store.ticket(int(row))
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: slice) -> "FOTDataset": ...
+
+    @overload
+    def __getitem__(self, index: int) -> FOT: ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[FOT, "FOTDataset"]:
         if isinstance(index, slice):
             return self._view(self._gindices()[index])
         row = int(index)
@@ -308,7 +326,7 @@ class FOTDataset:
             rows = self._indices[mask]
         return self._view(rows)
 
-    def take(self, indices) -> "FOTDataset":
+    def take(self, indices: ArrayLike) -> "FOTDataset":
         """Subset by integer positions (negative indices allowed),
         preserving the given order."""
         indices = np.asarray(indices)
@@ -392,6 +410,7 @@ class FOTDataset:
         n = len(self)
         mask = np.zeros(n, dtype=bool)
         if n < 2:
+            mask.setflags(write=False)
             return mask
         times = self.error_times
         # Sort by component key, then time, then original position — the
@@ -417,6 +436,7 @@ class FOTDataset:
         )
         close = (time_s[1:] - time_s[:-1]) <= window_seconds
         mask[perm[1:][same_key & close]] = True
+        mask.setflags(write=False)
         return mask
 
     # ------------------------------------------------------------------

@@ -35,15 +35,21 @@ import json
 import os
 import tempfile
 from datetime import datetime, timezone
+from enum import Enum
 from pathlib import Path
 from typing import (
     Dict,
     Iterable,
     Iterator,
+    Literal,
     NamedTuple,
     Optional,
+    TextIO,
     Tuple,
+    Type,
+    TypeVar,
     Union,
+    overload,
 )
 
 from repro.core.columns import ColumnBuilder
@@ -184,7 +190,7 @@ _ENUM_ALIASES = {
 class _Repairs:
     """Per-line repair collector; ``None`` stands for strict mode."""
 
-    def __init__(self, report: QuarantineReport, line: int):
+    def __init__(self, report: QuarantineReport, line: int) -> None:
         self.report = report
         self.line = line
 
@@ -212,7 +218,12 @@ def _parse_int(value: object, field: str) -> int:
     raise RowError(q.BAD_NUMBER, f"{field}: {value!r} is not an integer", field)
 
 
-def _parse_enum(enum_cls, value: object, field: str, repairs: Optional[_Repairs]):
+_E = TypeVar("_E", bound=Enum)
+
+
+def _parse_enum(
+    enum_cls: Type[_E], value: object, field: str, repairs: Optional[_Repairs]
+) -> _E:
     text = str(value)
     try:
         return enum_cls(text)
@@ -378,6 +389,26 @@ def _record_to_ticket(record: Dict[str, object], line: int) -> FOT:
         raise ValueError(f"line {line}: malformed ticket record: {exc}") from exc
 
 
+@overload
+def parse_records(
+    numbered: Iterable[Tuple[int, Dict[str, object]]],
+    *,
+    strict: Literal[True] = ...,
+    source: str = ...,
+    report: Optional[QuarantineReport] = ...,
+) -> FOTDataset: ...
+
+
+@overload
+def parse_records(
+    numbered: Iterable[Tuple[int, Dict[str, object]]],
+    *,
+    strict: Literal[False],
+    source: str = ...,
+    report: Optional[QuarantineReport] = ...,
+) -> LoadResult: ...
+
+
 def parse_records(
     numbered: Iterable[Tuple[int, Dict[str, object]]],
     *,
@@ -446,14 +477,14 @@ def _is_gzip(path: Path) -> bool:
     return path.suffix == ".gz"
 
 
-def _open_read(path: Path) -> Iterator:
+def _open_read(path: Path) -> TextIO:
     if _is_gzip(path):
         return gzip.open(path, "rt", encoding="utf-8")
     return path.open("r", encoding="utf-8", newline="")
 
 
 @contextlib.contextmanager
-def _atomic_write(path: Path, newline: str):
+def _atomic_write(path: Path, newline: str) -> Iterator[TextIO]:
     """Crash-safe writer: stage into a temp file next to ``path`` and
     atomically rename on success, so readers never observe a truncated
     dump.  Gzip output is byte-deterministic (no mtime/name in header)."""
@@ -508,7 +539,9 @@ def save_jsonl(dataset: FOTDataset, path: Union[str, Path]) -> None:
     )
 
 
-def _iter_jsonl(path: Path, report: Optional[QuarantineReport]):
+def _iter_jsonl(
+    path: Path, report: Optional[QuarantineReport]
+) -> Iterator[Tuple[int, Dict[str, object]]]:
     with contextlib.closing(_open_read(path)) as fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
@@ -520,6 +553,16 @@ def _iter_jsonl(path: Path, report: Optional[QuarantineReport]):
                 if report is None:
                     raise ValueError(f"line {line_no}: invalid JSON: {exc}") from exc
                 report.record_skip(line_no, q.BAD_JSON, f"invalid JSON: {exc}")
+
+
+@overload
+def load_jsonl(
+    path: Union[str, Path], *, strict: Literal[True] = ...
+) -> FOTDataset: ...
+
+
+@overload
+def load_jsonl(path: Union[str, Path], *, strict: Literal[False]) -> LoadResult: ...
 
 
 def load_jsonl(
@@ -560,6 +603,16 @@ def save_csv(dataset: FOTDataset, path: Union[str, Path]) -> None:
     )
 
 
+@overload
+def load_csv(
+    path: Union[str, Path], *, strict: Literal[True] = ...
+) -> FOTDataset: ...
+
+
+@overload
+def load_csv(path: Union[str, Path], *, strict: Literal[False]) -> LoadResult: ...
+
+
 def load_csv(
     path: Union[str, Path], *, strict: bool = True
 ) -> Union[FOTDataset, LoadResult]:
@@ -578,7 +631,9 @@ def load_csv(
         if missing:
             raise ValueError(f"CSV is missing columns: {sorted(missing)}")
         numbered = ((line_no, row) for line_no, row in enumerate(reader, start=2))
-        return parse_records(numbered, strict=strict, source=str(path))
+        if strict:
+            return parse_records(numbered, strict=True, source=str(path))
+        return parse_records(numbered, strict=False, source=str(path))
 
 
 # ----------------------------------------------------------------------
@@ -593,14 +648,22 @@ def save(dataset: FOTDataset, path: Union[str, Path]) -> None:
         save_csv(dataset, path)
 
 
+@overload
+def load(path: Union[str, Path], *, strict: Literal[True] = ...) -> FOTDataset: ...
+
+
+@overload
+def load(path: Union[str, Path], *, strict: Literal[False]) -> LoadResult: ...
+
+
 def load(
     path: Union[str, Path], *, strict: bool = True
 ) -> Union[FOTDataset, LoadResult]:
     """Dispatch on file suffix (``.jsonl[.gz]`` / ``.csv[.gz]``)."""
     path = Path(path)
     if _format_of(path) == ".jsonl":
-        return load_jsonl(path, strict=strict)
-    return load_csv(path, strict=strict)
+        return load_jsonl(path) if strict else load_jsonl(path, strict=False)
+    return load_csv(path) if strict else load_csv(path, strict=False)
 
 
 def write_records(records: Iterable[Dict[str, object]], path: Union[str, Path]) -> None:

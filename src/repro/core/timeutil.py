@@ -14,6 +14,7 @@ from __future__ import annotations
 from datetime import datetime, timedelta
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 #: Seconds in one minute / hour / day — used throughout the package.
 MINUTE = 60.0
@@ -44,27 +45,29 @@ def from_datetime(dt: datetime) -> float:
     return (dt - TRACE_EPOCH).total_seconds()
 
 
-def day_index(ts):
+def day_index(ts: ArrayLike) -> np.ndarray:
     """0-based day number of a timestamp (array-friendly)."""
     return np.asarray(ts, dtype=float) // DAY
 
 
-def hour_of_day(ts):
+def hour_of_day(ts: ArrayLike) -> np.ndarray:
     """Hour in ``0..23`` of a timestamp (array-friendly)."""
     return (np.asarray(ts, dtype=float) % DAY) // HOUR
 
 
-def day_of_week(ts):
+def day_of_week(ts: ArrayLike) -> np.ndarray:
     """Day of week in ``0..6`` with Monday == 0 (array-friendly)."""
     return (day_index(ts) + _EPOCH_WEEKDAY) % 7
 
 
-def is_weekend(ts):
+def is_weekend(ts: ArrayLike) -> np.ndarray:
     """True for Saturday/Sunday timestamps (array-friendly)."""
     return day_of_week(ts) >= 5
 
 
-def month_of_service(ts, deployed_at):
+def month_of_service(
+    ts: ArrayLike, deployed_at: ArrayLike
+) -> np.ndarray:
     """0-based month of service life at time ``ts`` for a component
     deployed at ``deployed_at`` (30-day months, array-friendly).
 

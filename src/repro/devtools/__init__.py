@@ -1,0 +1,16 @@
+"""Developer tooling — the static invariant linter and its runtime
+complement.
+
+* :mod:`repro.devtools.rules` — the RPL rule catalog and AST checkers.
+* :mod:`repro.devtools.lint` — ``reprolint`` driver
+  (``python -m repro.devtools.lint`` / ``repro lint``): suppressions,
+  baseline, reporters.
+* :mod:`repro.devtools.sanitize` — runtime sanitizer that asserts
+  store arrays are frozen and hash-guards dataset fingerprints across
+  analysis calls, validating the static rules against ground truth.
+
+Nothing here is imported by the library itself; the package is
+deliberately dependency-light so the linter can run in CI before the
+scientific stack is exercised.
+"""
+

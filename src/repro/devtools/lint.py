@@ -1,0 +1,413 @@
+"""``reprolint`` — the repo-specific AST invariant checker.
+
+Run it over the default tree::
+
+    python -m repro.devtools.lint src tests benchmarks
+    repro lint                      # CLI alias, same defaults
+
+Exit status is 0 when every finding is either inline-suppressed or
+recorded in the baseline file, 1 otherwise (2 for usage errors).
+
+**Suppressions** are inline comments with *required* justification
+text::
+
+    arr[0] = 1  # reprolint: disable=RPL002 -- fixture exercising the raise
+
+A suppression without the ``-- reason`` tail does not suppress anything
+and is itself reported (RPL000), as is a suppression that matches no
+finding on its line — so stale suppressions cannot rot in place.
+
+**Baseline**: ``--write-baseline`` records the current findings into a
+JSON file (default ``reprolint-baseline.json``) keyed by content
+fingerprints (rule + path + source line text), so pre-existing accepted
+findings survive unrelated line drift without blocking CI.  New code
+starts from an empty baseline.
+
+Reporters: human ``file:line:col: RPLxxx message`` (default) and
+``--format json`` emitting ``{"version", "findings", "summary"}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.rules import RULES, Finding, Project, check_file
+
+BASELINE_VERSION = 1
+JSON_VERSION = 1
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<codes>RPL\d{3}(?:\s*,\s*RPL\d{3})*)"
+    r"(?P<tail>.*)$"
+)
+_JUSTIFY_RE = re.compile(r"^\s*--\s*\S")
+
+
+@dataclass
+class Suppression:
+    line: int
+    codes: Tuple[str, ...]
+    file_level: bool
+    justified: bool
+    used: bool = False
+
+
+def _parse_suppressions(source: str, path: str) -> Tuple[List[Suppression],
+                                                         List[Finding]]:
+    """Extract suppression comments via tokenize so comment-lookalikes
+    inside string literals (e.g. linter test fixtures) are ignored."""
+    suppressions: List[Suppression] = []
+    findings: List[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except tokenize.TokenizeError:  # pragma: no cover - file already parsed
+        return [], []
+    for token in comments:
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            if "reprolint:" in token.string:
+                findings.append(
+                    Finding("RPL000", path, token.start[0], token.start[1],
+                            f"malformed reprolint comment {token.string.strip()!r}")
+                )
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        unknown = [code for code in codes if code not in RULES]
+        if unknown:
+            findings.append(
+                Finding("RPL000", path, token.start[0], token.start[1],
+                        f"suppression names unknown rule(s) {unknown}")
+            )
+        justified = bool(_JUSTIFY_RE.match(match.group("tail")))
+        if not justified:
+            findings.append(
+                Finding(
+                    "RPL000", path, token.start[0], token.start[1],
+                    "suppression is missing its justification — write "
+                    "'# reprolint: disable=RPLxxx -- <why this is safe>'",
+                )
+            )
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                codes=codes,
+                file_level=match.group(1) == "disable-file",
+                justified=justified,
+            )
+        )
+    return suppressions, findings
+
+
+def _apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression], path: str
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Split raw findings into (active, suppressed) and report unused or
+    unjustified suppressions as RPL000 meta-findings."""
+    by_line: Dict[int, List[Suppression]] = {}
+    file_level: List[Suppression] = []
+    for suppression in suppressions:
+        if suppression.file_level:
+            file_level.append(suppression)
+        else:
+            by_line.setdefault(suppression.line, []).append(suppression)
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        hit = None
+        for suppression in by_line.get(finding.line, []):
+            if finding.rule in suppression.codes:
+                hit = suppression
+                break
+        if hit is None:
+            for suppression in file_level:
+                if finding.rule in suppression.codes:
+                    hit = suppression
+                    break
+        if hit is not None and hit.justified:
+            hit.used = True
+            suppressed.append(finding)
+        else:
+            if hit is not None:
+                hit.used = True  # unjustified: finding stays, no "unused" noise
+            active.append(finding)
+
+    meta: List[Finding] = []
+    for suppression in suppressions:
+        if not suppression.used:
+            meta.append(
+                Finding(
+                    "RPL000", path, suppression.line, 0,
+                    f"unused suppression for {', '.join(suppression.codes)} — "
+                    "no such finding on this line; delete it",
+                )
+            )
+    return active, suppressed, meta
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+def fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    raw = "|".join(
+        (finding.rule, finding.path, line_text.strip(), str(occurrence))
+    )
+    return hashlib.sha1(raw.encode()).hexdigest()
+
+
+def _fingerprints(findings: Sequence[Finding],
+                  sources: Dict[str, List[str]]) -> List[str]:
+    """Stable content fingerprint per finding; duplicate (rule, text)
+    pairs in one file are disambiguated by occurrence index."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out = []
+    for finding in findings:
+        lines = sources.get(finding.path, [])
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        key = (finding.rule, finding.path, text.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(fingerprint(finding, text, occurrence))
+    return out
+
+
+def load_baseline(path: Path) -> "set[str]":
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return set()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"reprolint: unreadable baseline {path}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise SystemExit(
+            f"reprolint: baseline {path} has unsupported version "
+            f"{payload.get('version')!r}"
+        )
+    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding],
+                   prints: Sequence[str]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": print_,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding, print_ in sorted(
+                zip(findings, prints), key=lambda pair: pair[0].render()
+            )
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+@dataclass
+class LintResult:
+    new: List[Finding]
+    baselined: List[Finding]
+    suppressed: List[Finding]
+    new_fingerprints: List[str]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise SystemExit(f"reprolint: not a python file or directory: {path}")
+    return files
+
+
+def run_lint(paths: Sequence[str],
+             baseline: Optional[Path] = None) -> LintResult:
+    """Lint ``paths`` and classify findings against ``baseline``."""
+    files = collect_files(paths)
+    trees: Dict[Path, ast.Module] = {}
+    sources: Dict[str, List[str]] = {}
+    raw_sources: Dict[Path, str] = {}
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        try:
+            trees[path] = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            raise SystemExit(f"reprolint: cannot parse {path}: {exc}") from exc
+        raw_sources[path] = text
+        sources[path.as_posix()] = text.splitlines()
+
+    project = Project(trees)
+    all_findings: List[Finding] = []
+    suppressed_all: List[Finding] = []
+    for path in files:
+        rel = path.as_posix()
+        raw_findings = check_file(path, trees[path], project)
+        suppressions, meta = _parse_suppressions(raw_sources[path], rel)
+        active, suppressed, unused = _apply_suppressions(
+            raw_findings, suppressions, rel
+        )
+        all_findings.extend(active)
+        all_findings.extend(meta)
+        all_findings.extend(unused)
+        suppressed_all.extend(suppressed)
+
+    prints = _fingerprints(all_findings, sources)
+    known = load_baseline(baseline) if baseline else set()
+    new: List[Finding] = []
+    new_prints: List[str] = []
+    baselined: List[Finding] = []
+    for finding, print_ in zip(all_findings, prints):
+        if print_ in known:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+            new_prints.append(print_)
+    return LintResult(
+        new=new,
+        baselined=baselined,
+        suppressed=suppressed_all,
+        new_fingerprints=new_prints,
+    )
+
+
+def _report_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "version": JSON_VERSION,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                    "fingerprint": print_,
+                }
+                for finding, print_ in zip(result.new, result.new_fingerprints)
+            ],
+            "summary": {
+                "new": len(result.new),
+                "baselined": len(result.baselined),
+                "suppressed": len(result.suppressed),
+            },
+        },
+        indent=2,
+    )
+
+
+def _report_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.new]
+    lines.append(
+        f"reprolint: {len(result.new)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the repro codebase "
+                    "(determinism, immutability, cache purity, schema "
+                    "integrity, API hygiene)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    baseline: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline = Path(args.baseline)
+        elif Path(DEFAULT_BASELINE).exists() or args.write_baseline:
+            baseline = Path(DEFAULT_BASELINE)
+
+    if args.write_baseline:
+        result = run_lint(args.paths, baseline=None)
+        target = baseline or Path(DEFAULT_BASELINE)
+        write_baseline(target, result.new, result.new_fingerprints)
+        print(
+            f"reprolint: wrote {len(result.new)} finding(s) to {target}"
+        )
+        return 0
+
+    result = run_lint(args.paths, baseline=baseline)
+    print(_report_json(result) if args.fmt == "json" else _report_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())
+
+
+__all__ = [
+    "LintResult",
+    "run_lint",
+    "load_baseline",
+    "write_baseline",
+    "collect_files",
+    "main",
+]

@@ -26,6 +26,7 @@ Two tiers:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -34,7 +35,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.dataset import FOTDataset
 
 #: Bump when the key schema or pickle layout changes.
 _FORMAT = "repro-cache-v1"
@@ -94,7 +98,9 @@ class AnalysisCache:
             raise ValueError("max_entries must be >= 1")
 
     # ------------------------------------------------------------------
-    def key_for(self, fn: Callable, dataset, params: dict) -> str:
+    def key_for(
+        self, fn: Callable, dataset: "FOTDataset", params: dict
+    ) -> str:
         from repro import __version__
 
         name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
@@ -103,7 +109,7 @@ class AnalysisCache:
         )
         return hashlib.sha256(raw.encode()).hexdigest()
 
-    def call(self, fn: Callable, dataset, **params) -> Any:
+    def call(self, fn: Callable, dataset: "FOTDataset", **params: Any) -> Any:
         """``fn(dataset, **params)``, memoized on content."""
         key = self.key_for(fn, dataset, params)
         hit, value = self._get(key)
@@ -114,7 +120,7 @@ class AnalysisCache:
         return value
 
     # ------------------------------------------------------------------
-    def _get(self, key: str):
+    def _get(self, key: str) -> Tuple[bool, Any]:
         if key in self._lru:
             self._lru.move_to_end(key)
             self.stats.hits += 1
@@ -150,10 +156,8 @@ class AnalysisCache:
                     pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
             except BaseException:
-                try:
+                with contextlib.suppress(OSError):
                     os.unlink(tmp)
-                except OSError:
-                    pass
                 raise
         except (OSError, pickle.PickleError, AttributeError, TypeError):
             # Unpicklable results (pickle raises PicklingError, but also
@@ -180,10 +184,8 @@ class AnalysisCache:
         self._lru.clear()
         if disk and self.directory is not None and self.directory.exists():
             for path in self.directory.glob("*/*.pkl"):
-                try:
+                with contextlib.suppress(OSError):
                     path.unlink()
-                except OSError:
-                    pass
 
     def __len__(self) -> int:
         return len(self._lru)

@@ -16,32 +16,39 @@ fall back to in-process execution.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Sequence
+import multiprocessing.context
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.simulation.trace import ShardResult, ShardShared, ShardTask
 
 #: Worker-side plan storage, set once per worker by the pool initializer.
-_WORKER_PLAN = None
+_WORKER_PLAN: Optional[Tuple["ShardShared", Sequence["ShardTask"]]] = None
 
 
-def _init_worker(shared, tasks) -> None:
+def _init_worker(shared: "ShardShared", tasks: Sequence["ShardTask"]) -> None:
     global _WORKER_PLAN
     _WORKER_PLAN = (shared, tasks)
 
 
-def _run_one(index: int):
+def _run_one(index: int) -> "ShardResult":
     from repro.simulation.trace import run_shard
 
+    assert _WORKER_PLAN is not None, "worker pool was not initialized"
     shared, tasks = _WORKER_PLAN
     return run_shard(tasks[index], shared)
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
 
 
-def run_shards(tasks: Sequence, shared, jobs: int = 1) -> List:
+def run_shards(
+    tasks: Sequence["ShardTask"], shared: "ShardShared", jobs: int = 1
+) -> List["ShardResult"]:
     """Execute every :class:`~repro.simulation.trace.ShardTask` and
     return the :class:`~repro.simulation.trace.ShardResult` list in task
     order.

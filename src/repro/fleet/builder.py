@@ -140,8 +140,9 @@ def build_fleet(config: FleetConfig, rng: np.random.Generator) -> Fleet:
     # exactly round(modern_fraction * n) of them are post-2014.
     n_dcs = config.n_datacenters
     n_modern = int(round(config.modern_dc_fraction * n_dcs))
-    built_years = [2015 + (i % 2) for i in range(n_modern)] + [
-        2010 + (i % 5) for i in range(n_dcs - n_modern)
+    built_years = [
+        *(2015 + (i % 2) for i in range(n_modern)),
+        *(2010 + (i % 5) for i in range(n_dcs - n_modern)),
     ]
     rng.shuffle(built_years)
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -136,14 +136,16 @@ class Inventory:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    _CSV_BASE = ["host_id", "idc", "position", "deployed_at", "product_line"]
+    _CSV_BASE: ClassVar[Tuple[str, ...]] = (
+        "host_id", "idc", "position", "deployed_at", "product_line",
+    )
 
     def save_csv(self, path: Union[str, Path]) -> None:
         from repro.core.io import _atomic_write
 
         path = Path(path)
         count_cols = sorted(self.component_counts, key=lambda c: c.value)
-        fields = self._CSV_BASE + [f"n_{c.value}" for c in count_cols]
+        fields = [*self._CSV_BASE, *(f"n_{c.value}" for c in count_cols)]
         with _atomic_write(path, newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(fields)

@@ -367,4 +367,4 @@ def validate() -> None:
 
 validate()
 
-__all__ = [name for name in dir() if name.isupper()] + ["validate"]
+__all__ = [*(name for name in dir() if name.isupper()), "validate"]

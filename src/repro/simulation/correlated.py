@@ -204,7 +204,7 @@ def inject_synchronous_groups(
     records: List[InjectionRecord] = []
     # The Table VIII sequence: two SMART warnings, four rounds of a
     # repeatedly "fixed" system drive, one late PendingLBA.
-    type_sequence = ["SMARTFail", "SMARTFail"] + ["SixthFixing"] * 4 + ["PendingLBA"]
+    type_sequence = ["SMARTFail", "SMARTFail", *["SixthFixing"] * 4, "PendingLBA"]
     n_steps = min(len(type_sequence), max(3, calibration.SYNC_CHAIN_LENGTH + 1))
 
     for g in range(n_groups):

@@ -46,12 +46,11 @@ class TestMonthlyFailureRates:
     def test_synthetic_known_curve(self):
         # 10 failures in month 0, 5 in month 2, deployed at t=0.
         tickets = [
-            make_ticket(fot_id=i, error_time=float(i), deployed_at=0.0)
-            for i in range(10)
-        ] + [
-            make_ticket(fot_id=100 + i, error_time=2 * MONTH + float(i),
-                        deployed_at=0.0)
-            for i in range(5)
+            *(make_ticket(fot_id=i, error_time=float(i), deployed_at=0.0)
+              for i in range(10)),
+            *(make_ticket(fot_id=100 + i, error_time=2 * MONTH + float(i),
+                          deployed_at=0.0)
+              for i in range(5)),
         ]
         curve = lifecycle.monthly_failure_rates(
             FOTDataset(tickets), ComponentClass.HDD, n_months=4
@@ -62,12 +61,11 @@ class TestMonthlyFailureRates:
 
     def test_share_helpers(self):
         tickets = [
-            make_ticket(fot_id=i, error_time=float(i), deployed_at=0.0)
-            for i in range(8)
-        ] + [
-            make_ticket(fot_id=50 + i, error_time=5 * MONTH + float(i),
-                        deployed_at=0.0)
-            for i in range(2)
+            *(make_ticket(fot_id=i, error_time=float(i), deployed_at=0.0)
+              for i in range(8)),
+            *(make_ticket(fot_id=50 + i, error_time=5 * MONTH + float(i),
+                          deployed_at=0.0)
+              for i in range(2)),
         ]
         curve = lifecycle.monthly_failure_rates(
             FOTDataset(tickets), ComponentClass.HDD, n_months=12

@@ -34,7 +34,7 @@ class TestCorrelatedPairs:
         by_tag = {}
         for e in events:
             by_tag.setdefault(e.tag, []).append(e)
-        for tag, batch in by_tag.items():
+        for batch in by_tag.values():
             assert len(batch) == 2
             assert batch[0].server_row == batch[1].server_row
             assert abs(batch[0].time - batch[1].time) < DAY

@@ -58,7 +58,7 @@ class TestColumns:
 
     def test_columns_immutable(self, mixed_dataset):
         with pytest.raises(ValueError):
-            mixed_dataset.error_times[0] = 0.0
+            mixed_dataset.error_times[0] = 0.0  # reprolint: disable=RPL002 -- asserts the write raises
 
     def test_columns_cached(self, mixed_dataset):
         assert mixed_dataset.error_times is mixed_dataset.error_times

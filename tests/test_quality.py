@@ -83,7 +83,7 @@ class TestAssess:
         assert DataQuality.assess(FOTDataset(tickets)).grade == "poor"
 
     def test_open_tickets_do_not_count_against_coverage(self):
-        tickets = [_closed_ticket(0)] + [_open_ticket(i) for i in range(1, 6)]
+        tickets = [_closed_ticket(0), *(_open_ticket(i) for i in range(1, 6))]
         quality = DataQuality.assess(FOTDataset(tickets))
         assert quality.coverage["op_time"].fraction == 1.0
 
