@@ -1,0 +1,108 @@
+"""Wall-time benchmark for reprolint's engines.
+
+Times ``run_lint`` over ``src/`` and over the full default tree
+(``src tests benchmarks``) for both engines, prints a comparison, and
+records the numbers in a ``reprolint`` section of ``BENCH_perf.json``
+alongside the core-substrate timings.
+
+The dataflow engine re-analyzes every function against a call-graph
+summary fixpoint, so its wall-time is the one that grows with the repo;
+the CI timing gate (``--check --budget 60``) keeps it inside the budget
+the ISSUE set for the analysis to stay usable::
+
+    PYTHONPATH=src python benchmarks/bench_reprolint.py --check --budget 60
+
+    # record timings into BENCH_perf.json
+    PYTHONPATH=src python benchmarks/bench_reprolint.py --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.devtools.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PERF_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: (label, lint targets) timed per engine.
+TARGETS = (
+    ("src", ("src",)),
+    ("tree", ("src", "tests", "benchmarks")),
+)
+
+
+def time_lint(paths, engine: str, repeats: int) -> dict:
+    best = float("inf")
+    findings = files = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_lint([str(REPO_ROOT / p) for p in paths],
+                          baseline=REPO_ROOT / "reprolint-baseline.json",
+                          engine=engine)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        findings = len(result.new)
+        files = sum(
+            1 for p in paths
+            for _ in (REPO_ROOT / p).rglob("*.py")
+        )
+    return {"seconds": best, "files": files, "new_findings": findings}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the dataflow lint of src/ "
+                             "exceeds --budget seconds")
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="timing budget in seconds for --check "
+                             "(default 60)")
+    parser.add_argument("--json", action="store_true",
+                        help="record timings in BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    timings: dict = {}
+    for engine in ("ast", "dataflow"):
+        timings[engine] = {}
+        for label, paths in TARGETS:
+            timings[engine][label] = time_lint(paths, engine, args.repeats)
+
+    print(f"{'target':<8} {'engine':<10} {'files':>6} {'seconds':>9}")
+    for label, _ in TARGETS:
+        for engine in ("ast", "dataflow"):
+            entry = timings[engine][label]
+            print(f"{label:<8} {engine:<10} {entry['files']:>6} "
+                  f"{entry['seconds']:>9.3f}")
+    dataflow_src = timings["dataflow"]["src"]["seconds"]
+    print(f"\ndataflow lint of src/: {dataflow_src:.3f}s "
+          f"(budget {args.budget:.0f}s)")
+
+    if args.json:
+        payload = json.loads(PERF_PATH.read_text(encoding="utf-8")) \
+            if PERF_PATH.exists() else {"schema": 1, "runs": {}}
+        payload["reprolint"] = {
+            "python": platform.python_version(),
+            "budget_seconds": args.budget,
+            "engines": timings,
+        }
+        PERF_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                             + "\n", encoding="utf-8")
+        print(f"recorded reprolint timings in {PERF_PATH.name}")
+
+    if args.check and dataflow_src > args.budget:
+        print(f"FAIL: dataflow lint of src/ took {dataflow_src:.1f}s "
+              f"> budget {args.budget:.0f}s", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.dataset import FOTDataset
-from repro.core.timeutil import day_index
+from repro.core.timeutil import HOUR, day_index
 from repro.core.types import ComponentClass
 
 #: The thresholds Table V reports.
@@ -94,7 +94,7 @@ class BatchEvent:
 
     @property
     def duration_hours(self) -> float:
-        return (self.end - self.start) / 3600.0
+        return (self.end - self.start) / HOUR
 
 
 def detect_batches(
@@ -120,7 +120,7 @@ def detect_batches(
     if len(failures) == 0:
         return []
     times = failures.error_times
-    hours = (times // 3600.0).astype(int)
+    hours = (times // HOUR).astype(int)
     n_hours = int(hours.max()) + 1
     counts = np.bincount(hours, minlength=n_hours).astype(float)
     baseline = counts.mean()
@@ -136,7 +136,7 @@ def detect_batches(
         start_h = h
         while h < n_hours and flagged[h]:
             h += 1
-        lo, hi = start_h * 3600.0, h * 3600.0
+        lo, hi = start_h * HOUR, h * HOUR
         mask = (times >= lo) & (times < hi)
         size = int(mask.sum())
         if size < min_failures:

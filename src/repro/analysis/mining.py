@@ -255,13 +255,13 @@ def component_context(
             if not (
                 other.error_device is ticket.error_device
                 and abs(other.error_time - ticket.error_time)
-                <= batch_window_hours * 3600.0
+                <= batch_window_hours * HOUR
             ):
                 continue
         if (
             other.error_device is ticket.error_device
             and abs(other.error_time - ticket.error_time)
-            <= batch_window_hours * 3600.0
+            <= batch_window_hours * HOUR
             and other.host_id != ticket.host_id
         ):
             batch_count += 1

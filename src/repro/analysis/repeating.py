@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.core.dataset import FOTDataset
+from repro.core.timeutil import DAY
 from repro.core.ticket import FOT
 from repro.core.types import FOTCategory
 
@@ -89,7 +90,7 @@ def repeat_chains(
     """
     if window_days <= 0:
         raise ValueError("window_days must be positive")
-    window = window_days * 86400.0
+    window = window_days * DAY
     by_key: Dict[RepeatKey, List[FOT]] = defaultdict(list)
     for ticket in dataset.failures().sorted_by_time():
         by_key[_repeat_key(ticket)].append(ticket)

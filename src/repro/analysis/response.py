@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.dataset import FOTDataset
-from repro.core.timeutil import DAY
+from repro.core.timeutil import DAY, unit
 from repro.core.types import ComponentClass, FOTCategory
 from repro.robustness.quality import (
     DataQuality,
@@ -32,6 +32,7 @@ from repro.robustness.quality import (
 from repro.stats.empirical import ECDF, ecdf
 
 
+@unit("seconds")
 def response_times_seconds(
     dataset: FOTDataset, quality: Optional[DataQuality] = None
 ) -> np.ndarray:
@@ -192,6 +193,7 @@ def product_line_rt_summary(
     )
 
 
+@unit("days")
 def mttr_days(
     dataset: FOTDataset,
     category: FOTCategory,

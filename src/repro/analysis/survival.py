@@ -32,12 +32,12 @@ from repro.fleet.inventory import Inventory
 class SurvivalCurve:
     """Kaplan-Meier estimate of P[component survives beyond t].
 
-    ``times`` are event times (months of service); ``survival`` the KM
+    ``months`` are event times (months of service); ``survival`` the KM
     estimate just after each; ``at_risk`` the risk-set size just before.
     """
 
     component: ComponentClass
-    times: np.ndarray
+    months: np.ndarray
     survival: np.ndarray
     at_risk: np.ndarray
     n_components: int
@@ -45,7 +45,7 @@ class SurvivalCurve:
 
     def probability_beyond(self, months: float) -> float:
         """Survival probability beyond ``months`` of service."""
-        idx = int(np.searchsorted(self.times, months, side="right")) - 1
+        idx = int(np.searchsorted(self.months, months, side="right")) - 1
         if idx < 0:
             return 1.0
         return float(self.survival[idx])
@@ -57,7 +57,7 @@ class SurvivalCurve:
         below = np.flatnonzero(self.survival <= 0.5)
         if below.size == 0:
             return None
-        return float(self.times[below[0]])
+        return float(self.months[below[0]])
 
 
 def _first_failure_ages(
@@ -137,7 +137,7 @@ def kaplan_meier(
     survival = np.cumprod(factors)
     return SurvivalCurve(
         component=component,
-        times=unique_times,
+        months=unique_times,
         survival=survival,
         at_risk=at_risk_arr,
         n_components=n_components,

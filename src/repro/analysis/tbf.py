@@ -15,7 +15,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.core.dataset import FOTDataset
-from repro.core.timeutil import MINUTE
+from repro.core.timeutil import MINUTE, unit
 from repro.core.types import ComponentClass
 from repro.robustness.quality import InsufficientDataError
 from repro.stats.chisquare import ChiSquareResult
@@ -27,6 +27,7 @@ from repro.stats.hypotheses import (
 )
 
 
+@unit("seconds")
 def tbf_values(dataset: FOTDataset) -> np.ndarray:
     """Gaps between consecutive failure detections, in seconds.
 
@@ -93,6 +94,7 @@ def tbf_per_component(
     return test_tbf_per_component(dataset, min_failures=min_failures)
 
 
+@unit("seconds")
 def mtbf_by_idc(dataset: FOTDataset) -> Dict[str, float]:
     """MTBF in seconds per data center (paper: 32-390 minutes)."""
     out: Dict[str, float] = {}

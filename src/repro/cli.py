@@ -35,6 +35,7 @@ from typing import Optional, Sequence
 
 from repro import api
 from repro.core import io as core_io
+from repro.core.timeutil import DAY
 from repro.robustness.chaos import (
     CORRUPTION_KINDS,
     CorruptionSpec,
@@ -159,7 +160,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     incidents = api.mine_incidents(dataset, min_batch=args.min_batch)
     rows = [
         (i.incident_id, i.kind, len(i), len(i.servers),
-         f"{i.span_seconds / 86400.0:.1f} d", i.summary[:70])
+         f"{i.span_seconds / DAY:.1f} d", i.summary[:70])
         for i in incidents[: args.limit]
     ]
     print(

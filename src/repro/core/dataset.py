@@ -46,6 +46,7 @@ from repro.core.columns import (
     ColumnStore,
 )
 from repro.core.ticket import FOT
+from repro.core.timeutil import DAY
 from repro.core.types import ComponentClass, DetectionSource, FOTCategory
 
 _COMPONENT_CODE = COMPONENT_CODE
@@ -539,7 +540,7 @@ class FOTDataset:
             "failures": len(self.failures()),
             "idcs": len(self.idcs),
             "product_lines": len(self.product_lines),
-            "span_days": self.span_seconds / 86400.0,
+            "span_days": self.span_seconds / DAY,
             "hosts": int(np.unique(self.host_ids).size) if len(self) else 0,
         }
 

@@ -12,9 +12,52 @@ with plain integer arithmetic.
 from __future__ import annotations
 
 from datetime import datetime, timedelta
+from typing import Callable, NewType, TypeVar
 
 import numpy as np
 from numpy.typing import ArrayLike
+
+# ---------------------------------------------------------------------------
+# unit annotations
+# ---------------------------------------------------------------------------
+#: Distinct scalar types per time unit.  mypy treats them as
+#: incompatible floats, and the reprolint dataflow engine
+#: (``repro.devtools.dataflow``) reads the same names off annotations —
+#: one source of truth for both checkers.
+Seconds = NewType("Seconds", float)
+Minutes = NewType("Minutes", float)
+Hours = NewType("Hours", float)
+Days = NewType("Days", float)
+Months = NewType("Months", float)
+Years = NewType("Years", float)
+
+#: Unit names accepted by :func:`unit`.
+UNIT_NAMES = ("seconds", "minutes", "hours", "days", "months", "years")
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def unit(name: str) -> Callable[[_F], _F]:
+    """Declare the time unit of a function's return value.
+
+    Array-returning helpers cannot use the scalar NewTypes above, so
+    they carry the unit as a marker attribute instead::
+
+        @unit("days")
+        def day_index(ts): ...
+
+    The dataflow engine treats the declaration as ground truth and
+    flags returns whose inferred unit disagrees.
+    """
+    if name not in UNIT_NAMES:
+        raise ValueError(f"unknown time unit {name!r}; expected one of "
+                         f"{UNIT_NAMES}")
+
+    def mark(fn: _F) -> _F:
+        fn.__repro_unit__ = name  # type: ignore[attr-defined]
+        return fn
+
+    return mark
 
 #: Seconds in one minute / hour / day — used throughout the package.
 MINUTE = 60.0
@@ -40,16 +83,19 @@ def to_datetime(ts: float) -> datetime:
     return TRACE_EPOCH + timedelta(seconds=float(ts))
 
 
+@unit("seconds")
 def from_datetime(dt: datetime) -> float:
     """Convert a calendar ``datetime`` to a trace timestamp."""
     return (dt - TRACE_EPOCH).total_seconds()
 
 
+@unit("days")
 def day_index(ts: ArrayLike) -> np.ndarray:
     """0-based day number of a timestamp (array-friendly)."""
     return np.asarray(ts, dtype=float) // DAY
 
 
+@unit("hours")
 def hour_of_day(ts: ArrayLike) -> np.ndarray:
     """Hour in ``0..23`` of a timestamp (array-friendly)."""
     return (np.asarray(ts, dtype=float) % DAY) // HOUR
@@ -65,6 +111,7 @@ def is_weekend(ts: ArrayLike) -> np.ndarray:
     return day_of_week(ts) >= 5
 
 
+@unit("months")
 def month_of_service(
     ts: ArrayLike, deployed_at: ArrayLike
 ) -> np.ndarray:
@@ -101,6 +148,14 @@ DAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
 
 __all__ = [
     "MINUTE",
+    "Seconds",
+    "Minutes",
+    "Hours",
+    "Days",
+    "Months",
+    "Years",
+    "UNIT_NAMES",
+    "unit",
     "HOUR",
     "DAY",
     "MONTH",

@@ -4,7 +4,14 @@ complement.
 * :mod:`repro.devtools.rules` — the RPL rule catalog and AST checkers.
 * :mod:`repro.devtools.lint` — ``reprolint`` driver
   (``python -m repro.devtools.lint`` / ``repro lint``): suppressions,
-  baseline, reporters.
+  baseline, reporters, ``--engine`` selection.
+* :mod:`repro.devtools.dataflow` — abstract-interpretation engine
+  (``--engine=dataflow``): per-function CFGs (:mod:`~repro.devtools.cfg`)
+  analyzed to fixpoint over a product fact lattice
+  (:mod:`~repro.devtools.lattice`) for the RPL101–104 unit/dtype/order
+  rules and interprocedural RPL001/RPL002 via call-graph summaries.
+* :mod:`repro.devtools.sarif` — SARIF 2.1.0 reporter for code-scanning
+  upload (``--format sarif``).
 * :mod:`repro.devtools.sanitize` — runtime sanitizer that asserts
   store arrays are frozen and hash-guards dataset fingerprints across
   analysis calls, validating the static rules against ground truth.

@@ -43,6 +43,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.devtools.rules import RULES, Finding, Project, check_file
 
+ENGINES = ("ast", "dataflow")
+
 BASELINE_VERSION = 1
 JSON_VERSION = 1
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
@@ -115,10 +117,17 @@ def _parse_suppressions(source: str, path: str) -> Tuple[List[Suppression],
 
 
 def _apply_suppressions(
-    findings: List[Finding], suppressions: List[Suppression], path: str
+    findings: List[Finding], suppressions: List[Suppression], path: str,
+    checked_rules: Optional["set[str]"] = None,
 ) -> Tuple[List[Finding], List[Finding], List[Finding]]:
     """Split raw findings into (active, suppressed) and report unused or
-    unjustified suppressions as RPL000 meta-findings."""
+    unjustified suppressions as RPL000 meta-findings.
+
+    ``checked_rules`` is the set of rules the current engine actually
+    evaluates; a suppression naming only rules outside it (e.g. an
+    RPL101 suppression under ``--engine=ast``) is left alone rather
+    than reported as unused.
+    """
     by_line: Dict[int, List[Suppression]] = {}
     file_level: List[Suppression] = []
     for suppression in suppressions:
@@ -150,6 +159,10 @@ def _apply_suppressions(
 
     meta: List[Finding] = []
     for suppression in suppressions:
+        if checked_rules is not None and not any(
+            code in checked_rules for code in suppression.codes
+        ):
+            continue
         if not suppression.used:
             meta.append(
                 Finding(
@@ -254,8 +267,18 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
 
 
 def run_lint(paths: Sequence[str],
-             baseline: Optional[Path] = None) -> LintResult:
-    """Lint ``paths`` and classify findings against ``baseline``."""
+             baseline: Optional[Path] = None,
+             engine: str = "ast") -> LintResult:
+    """Lint ``paths`` and classify findings against ``baseline``.
+
+    ``engine="ast"`` runs the syntactic RPL000–005 rules; ``"dataflow"``
+    additionally runs the abstract-interpretation pass
+    (:mod:`repro.devtools.dataflow`): RPL101–104 plus interprocedural
+    RPL001/002 call-site findings.  Suppression and baseline handling
+    are identical for both engines.
+    """
+    if engine not in ENGINES:
+        raise SystemExit(f"reprolint: unknown engine {engine!r}")
     files = collect_files(paths)
     trees: Dict[Path, ast.Module] = {}
     sources: Dict[str, List[str]] = {}
@@ -270,14 +293,30 @@ def run_lint(paths: Sequence[str],
         sources[path.as_posix()] = text.splitlines()
 
     project = Project(trees)
+    dataflow_project = None
+    if engine == "dataflow":
+        from repro.devtools.dataflow import DataflowProject
+
+        dataflow_project = DataflowProject(trees)
     all_findings: List[Finding] = []
     suppressed_all: List[Finding] = []
     for path in files:
         rel = path.as_posix()
         raw_findings = check_file(path, trees[path], project)
+        if dataflow_project is not None:
+            from repro.devtools.dataflow import analyze_module
+
+            raw_findings = sorted(
+                raw_findings + analyze_module(path, trees[path],
+                                              dataflow_project),
+                key=lambda f: (f.line, f.col, f.rule, f.message),
+            )
         suppressions, meta = _parse_suppressions(raw_sources[path], rel)
+        checked = set(RULES) if engine == "dataflow" else {
+            rule for rule in RULES if not rule.startswith("RPL1")
+        }
         active, suppressed, unused = _apply_suppressions(
-            raw_findings, suppressions, rel
+            raw_findings, suppressions, rel, checked_rules=checked
         )
         all_findings.extend(active)
         all_findings.extend(meta)
@@ -328,6 +367,13 @@ def _report_json(result: LintResult) -> str:
     )
 
 
+def _report_sarif(result: LintResult) -> str:
+    from repro.devtools.sarif import render_sarif
+
+    fingerprints = dict(zip(result.new, result.new_fingerprints))
+    return render_sarif(result.new, fingerprints).rstrip("\n")
+
+
 def _report_text(result: LintResult) -> str:
     lines = [finding.render() for finding in result.new]
     lines.append(
@@ -362,8 +408,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="record current findings as the new baseline and exit 0",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt",
-        help="report format",
+        "--engine", choices=ENGINES, default="ast",
+        help="'ast' runs the syntactic rules; 'dataflow' adds the "
+             "abstract-interpretation analyses (RPL101-104 and "
+             "interprocedural RPL001/002)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="fmt", help="report format",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog",
@@ -386,7 +442,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline = Path(DEFAULT_BASELINE)
 
     if args.write_baseline:
-        result = run_lint(args.paths, baseline=None)
+        result = run_lint(args.paths, baseline=None, engine=args.engine)
         target = baseline or Path(DEFAULT_BASELINE)
         write_baseline(target, result.new, result.new_fingerprints)
         print(
@@ -394,8 +450,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    result = run_lint(args.paths, baseline=baseline)
-    print(_report_json(result) if args.fmt == "json" else _report_text(result))
+    result = run_lint(args.paths, baseline=baseline, engine=args.engine)
+    if args.fmt == "json":
+        report = _report_json(result)
+    elif args.fmt == "sarif":
+        report = _report_sarif(result)
+    else:
+        report = _report_text(result)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"reprolint: wrote {args.fmt} report to {args.output} "
+              f"({len(result.new)} new finding(s))")
+    else:
+        print(report)
     return result.exit_code
 
 

@@ -48,6 +48,12 @@ RULES: Dict[str, str] = {
     "RPL003": "cache purity: cached analysis functions must be side-effect free",
     "RPL004": "schema integrity: FOT field literals must exist in the canonical schema",
     "RPL005": "API hygiene: __all__ must match real bindings and facade re-exports",
+    # Semantic rules implemented by the dataflow engine
+    # (repro.devtools.dataflow, --engine=dataflow).
+    "RPL101": "time units: no cross-unit arithmetic/comparison; convert via core.timeutil",
+    "RPL102": "time units: no magic second-count literals folded into arithmetic",
+    "RPL103": "dtype width: no narrowing casts/accumulation over time-unit values",
+    "RPL104": "shard determinism: sort set/dict/fs-listing iteration before ordered folds",
 }
 
 

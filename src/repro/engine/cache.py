@@ -183,7 +183,7 @@ class AnalysisCache:
         on-disk entries (but not the directory itself)."""
         self._lru.clear()
         if disk and self.directory is not None and self.directory.exists():
-            for path in self.directory.glob("*/*.pkl"):
+            for path in sorted(self.directory.glob("*/*.pkl")):
                 with contextlib.suppress(OSError):
                     path.unlink()
 

@@ -22,7 +22,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.config import FleetConfig, SpatialProfile
-from repro.core.timeutil import YEAR
+from repro.core.timeutil import DAY, YEAR
 from repro.fleet.component import GENERATIONS
 from repro.fleet.datacenter import DataCenter
 from repro.fleet.fleet import Fleet
@@ -205,7 +205,7 @@ def build_fleet(config: FleetConfig, rng: np.random.Generator) -> Fleet:
                 config.rack_slots, size=n_here, replace=False, p=occupancy_probs
             )
             for slot in sorted(int(s) for s in slots):
-                deployed_at = wave + float(rng.uniform(0, 14)) * 86400.0
+                deployed_at = wave + float(rng.uniform(0, 14)) * DAY
                 generation = _generation_for(deployed_at, config)
                 servers.append(
                     Server(

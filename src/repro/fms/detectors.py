@@ -23,6 +23,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.core.timeutil import HOUR
 from repro.core.types import ComponentClass, DetectionSource
 from repro.simulation import calibration
 
@@ -98,7 +99,7 @@ class DetectionModel:
     ) -> np.ndarray:
         """Seconds-within-day offsets following the class's hour profile."""
         hours = rng.choice(24, size=size, p=self._hour_weights[component])
-        return hours * 3600.0 + rng.uniform(0.0, 3600.0, size=size)
+        return hours * HOUR + rng.uniform(0.0, HOUR, size=size)
 
 
 __all__ = ["DetectionModel"]

@@ -121,9 +121,9 @@ def peak_share(detections: np.ndarray, top_hours: int = 8) -> float:
     if not 1 <= top_hours <= 24:
         raise ValueError("top_hours must be in [1, 24]")
     curve = np.asarray(calibration.WORKLOAD_BY_HOUR, dtype=float)
-    peak_hours = set(np.argsort(curve)[-top_hours:])
+    peak_hours = np.sort(np.argsort(curve)[-top_hours:])
     hours = ((np.asarray(detections) % DAY) // HOUR).astype(int)
-    return float(np.isin(hours, list(peak_hours)).mean())
+    return float(np.isin(hours, peak_hours).mean())
 
 
 def compare_detection(

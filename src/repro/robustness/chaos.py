@@ -33,6 +33,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.timeutil import HOUR
+
 from repro.core.dataset import FOTDataset
 from repro.core.io import _ticket_to_record
 from repro.core.types import FOTCategory
@@ -52,7 +54,7 @@ TRUNCATABLE_FIELDS = (
 #: Values ``bad_positions`` draws from.
 BAD_POSITION_VALUES = (-1, -40, 999, 100000)
 
-_MAX_SKEW_SECONDS = 6 * 3600.0
+_MAX_SKEW_SECONDS = 6 * HOUR
 
 
 @dataclass(frozen=True)

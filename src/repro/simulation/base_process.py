@@ -84,7 +84,7 @@ def horizon_months(horizon_seconds: float) -> int:
     n_days = int(horizon_seconds // DAY)
     if n_days < _DAYS_PER_MONTH:
         raise ValueError("horizon shorter than one month")
-    return (n_days + _DAYS_PER_MONTH - 1) // _DAYS_PER_MONTH
+    return (n_days + _DAYS_PER_MONTH - 1) // _DAYS_PER_MONTH  # reprolint: disable=RPL101 -- day count ceil-divided by days-per-month is months by construction
 
 
 def day_effect_series(

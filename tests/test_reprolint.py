@@ -73,7 +73,9 @@ def test_collect_files_rejects_non_python(tmp_path):
 
 
 def test_rule_catalog_is_complete():
-    assert set(RULES) == {f"RPL00{i}" for i in range(6)}
+    syntactic = {f"RPL00{i}" for i in range(6)}
+    dataflow = {f"RPL10{i}" for i in range(1, 5)}
+    assert set(RULES) == syntactic | dataflow
 
 
 # ---------------------------------------------------------------------------
