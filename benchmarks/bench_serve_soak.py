@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Ingestion soak benchmark for the streaming service (``repro.serve``).
+
+Feeds a chaos-corrupted FOT ticket stream through a live
+:class:`~repro.serve.router.IngestRouter` — truncated batches,
+duplicate deliveries, out-of-order timestamps, oversized batches, slow
+producers and periodic transient append faults all on — while a
+concurrent reader keeps hammering ``full_report`` over the growing live
+dataset through the warm analysis cache.
+
+Three properties are asserted (with ``--check`` they gate CI):
+
+1. **Zero silent ticket loss.**  Every ticket that enters the queue is
+   accounted for: ``accepted + quarantined + dead_lettered ==
+   submitted``, and no dead-letter write may fail.
+2. **Throughput.**  Sustained ingest rate must exceed ``--min-rate``
+   tickets/hour (default 1,000,000 — roughly 300x the real four-year
+   trace's arrival rate, so replaying history is never the bottleneck).
+3. **Read latency.**  Warm-cache ``full_report`` reads issued while
+   ingestion is running must stay under ``--max-read-seconds``.
+
+Results land in the ``serve`` tier of BENCH_perf.json via the same
+``update_json`` plumbing as the core benchmark.
+
+Usage::
+
+    python benchmarks/bench_serve_soak.py --tickets 120000 --check
+    python benchmarks/bench_serve_soak.py --tickets 1000000 --no-update
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_perf_core import DEFAULT_JSON, synth_records, update_json
+
+from repro.analysis.full_report import full_report
+from repro.core.timeutil import HOUR
+from repro.robustness.chaos import corrupt_stream, default_stream_specs
+from repro.serve.breaker import BreakerOpenError
+from repro.serve.config import BreakerConfig, RetryPolicy, ServeConfig
+from repro.serve.router import IngestRouter
+from repro.serve.store import TransientAppendError
+
+DEFAULT_SEED = 20170626
+#: cap on how long an injected slow-producer stall is actually enacted;
+#: the manifest records the nominal delay, the bench only simulates it.
+MAX_ENACTED_STALL_SECONDS = 0.005
+
+
+class TransientFaultInjector:
+    """Deterministically fault the first append attempt of every Nth
+    batch with a :class:`TransientAppendError` (the retry succeeds)."""
+
+    def __init__(self, every: int):
+        self.every = every
+        self.faulted: set = set()
+
+    def __call__(self, batch) -> None:
+        if not self.every:
+            return
+        if batch.seq % self.every == 0 and batch.seq not in self.faulted:
+            self.faulted.add(batch.seq)
+            raise TransientAppendError(
+                f"injected transient fault on batch seq={batch.seq}"
+            )
+
+
+def build_stream(n_tickets: int, batch_size: int, seed: int, intensity: float):
+    """Synthesize ``n_tickets`` valid tickets, slice into batches, and
+    run the full stream-corruption gauntlet over them."""
+    records = synth_records(n_tickets, seed=seed)
+    batches = [
+        records[i : i + batch_size]
+        for i in range(0, len(records), batch_size)
+    ]
+    return corrupt_stream(batches, default_stream_specs(intensity), seed)
+
+
+async def _producer(router, stream, delays, progress_every):
+    for i, batch in enumerate(stream):
+        stall = delays.get(str(i))
+        if stall:
+            await asyncio.sleep(min(stall, MAX_ENACTED_STALL_SECONDS))
+        source = f"idc{i % 4:02d}"
+        while True:
+            try:
+                await router.submit_wait(source, batch)
+                break
+            except BreakerOpenError as exc:
+                await asyncio.sleep(min(exc.retry_after, 0.05))
+        if progress_every and (i + 1) % progress_every == 0:
+            print(f"  submitted {i + 1}/{len(stream)} batches", flush=True)
+
+
+async def _reader(router, stop, latencies: List[float]):
+    """Concurrent analyst: headline report over the live snapshot while
+    ingestion is running.  The snapshot is taken on-loop; the report
+    runs in the executor like the router's own refresh."""
+    loop = asyncio.get_running_loop()
+    while not stop.is_set():
+        snapshot = router.live.current()
+        if len(snapshot):
+            started = time.perf_counter()
+            await loop.run_in_executor(
+                None,
+                lambda s=snapshot: full_report(
+                    s, cache=router.cache, headline_only=True
+                ),
+            )
+            latencies.append(time.perf_counter() - started)
+        await asyncio.sleep(0.05)
+
+
+async def soak(router, stream, delays, progress_every):
+    latencies: List[float] = []
+    stop = asyncio.Event()
+    router.start()
+    reader = asyncio.get_running_loop().create_task(
+        _reader(router, stop, latencies)
+    )
+    started = time.perf_counter()
+    await _producer(router, stream, delays, progress_every)
+    await router.drain()
+    elapsed = time.perf_counter() - started
+    stop.set()
+    await reader
+    await router.stop(drain=False)
+    return elapsed, latencies
+
+
+def run_soak(args) -> Dict[str, object]:
+    stream, manifest = build_stream(
+        args.tickets, args.batch_size, args.seed, args.intensity
+    )
+    delivered = sum(len(b) for b in stream)
+    delays = {}
+    for entry in manifest.injections:
+        if entry["kind"] == "slow_batch":
+            delays = entry["delays"]
+    print(
+        f"stream: {len(stream)} batches / {delivered} tickets after chaos "
+        f"({manifest.n_input} clean tickets in)"
+    )
+
+    injector = TransientFaultInjector(args.fault_every)
+    router = IngestRouter(
+        ServeConfig(
+            queue_high_watermark=64,
+            max_batch_tickets=args.batch_size * 3,
+            refresh_interval_batches=50,
+            retry=RetryPolicy(
+                attempts=3, base_seconds=0.001, max_seconds=0.01
+            ),
+            # Generous threshold: breaker mechanics are covered by the
+            # unit suite; the soak wants sustained flow under faults.
+            breaker=BreakerConfig(
+                failure_threshold=50, reset_seconds=0.05
+            ),
+        ),
+        append_fault=injector,
+    )
+
+    elapsed, latencies = asyncio.run(
+        soak(router, stream, delays, args.progress_every)
+    )
+
+    snapshot = router.metrics_snapshot()
+    counters = snapshot["counters"]
+    rate = counters["tickets_submitted"] / elapsed * HOUR
+    warm = latencies[1:] if len(latencies) > 1 else latencies
+    tier: Dict[str, object] = {
+        "tickets_delivered": delivered,
+        "batches": len(stream),
+        "elapsed_seconds": round(elapsed, 3),
+        "tickets_per_hour": round(rate),
+        "submitted": counters["tickets_submitted"],
+        "accepted": counters["tickets_accepted"],
+        "quarantined": counters["tickets_quarantined"],
+        "dead_lettered": counters["tickets_dead_lettered"],
+        "dead_letter_batches": snapshot["dead_letter"]["count"],
+        "retries": counters["retries"],
+        "injected_faults": len(injector.faulted),
+        "compactions": counters["compactions"],
+        "refreshes": counters["refreshes"],
+        "reads": len(latencies),
+        "read_warm_max_seconds": round(max(warm), 4) if warm else None,
+    }
+    tier["failures"] = check_soak(
+        counters, snapshot, delivered, rate, warm, args
+    )
+    return tier
+
+
+def check_soak(counters, snapshot, delivered, rate, warm, args) -> List[str]:
+    failures: List[str] = []
+    if counters["tickets_submitted"] != delivered:
+        failures.append(
+            f"delivery gap: {counters['tickets_submitted']} submitted "
+            f"!= {delivered} delivered"
+        )
+    if counters["tickets_accounted"] != counters["tickets_submitted"]:
+        failures.append(
+            f"LEDGER BROKEN: accounted {counters['tickets_accounted']} "
+            f"!= submitted {counters['tickets_submitted']}"
+        )
+    if snapshot["dead_letter"]["write_failures"]:
+        failures.append(
+            f"{snapshot['dead_letter']['write_failures']} dead-letter "
+            f"writes failed"
+        )
+    if rate < args.min_rate:
+        failures.append(
+            f"rate {rate:,.0f} tickets/hour below floor "
+            f"{args.min_rate:,.0f}"
+        )
+    if not warm:
+        failures.append("reader never completed a concurrent full_report")
+    elif max(warm) > args.max_read_seconds:
+        failures.append(
+            f"warm read {max(warm):.3f}s exceeds "
+            f"{args.max_read_seconds:.1f}s budget"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tickets", type=int, default=120_000)
+    parser.add_argument("--batch-size", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--intensity", type=float, default=0.05,
+        help="fraction of batches hit by each stream corruptor",
+    )
+    parser.add_argument(
+        "--fault-every", type=int, default=25,
+        help="inject a transient append fault on every Nth batch "
+             "(0 disables)",
+    )
+    parser.add_argument(
+        "--min-rate", type=float, default=1_000_000,
+        help="required sustained ingest rate in tickets/hour",
+    )
+    parser.add_argument("--max-read-seconds", type=float, default=1.0)
+    parser.add_argument("--progress-every", type=int, default=100)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any soak property fails",
+    )
+    parser.add_argument("--no-update", action="store_true")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--label", default="current")
+    args = parser.parse_args(argv)
+
+    tier = run_soak(args)
+    failures = tier.pop("failures")
+
+    print("\nsoak results:")
+    for key, value in tier.items():
+        print(f"  {key}: {value}")
+    if not args.no_update:
+        update_json(args.json, args.label, {"serve": tier})
+        print(f"\nrecorded serve tier in {args.json}")
+
+    if failures:
+        print("\nsoak FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1 if args.check else 0
+    print("\nall soak properties hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Core subcommands::
     fouryears report trace.jsonl          # compact headline summary
     fouryears validate dump.csv           # quarantine + data-quality audit
     fouryears corrupt trace.jsonl --out dirty.jsonl --seed 7
+    fouryears serve --port 8437 --dead-letter-dir dead_letters/
+    fouryears replay-deadletter dead_letters/ --out recovered.jsonl
 
 (``repro`` is installed as an alias of ``fouryears``; ``generate`` is a
 deprecated alias of ``simulate``.)
@@ -230,6 +232,117 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import BreakerConfig, IngestRouter, ServeConfig, serve_http
+
+    initial = None
+    if args.dataset:
+        initial = _load_dataset(args.dataset, lenient=True)
+    config = ServeConfig(
+        queue_high_watermark=args.queue_watermark,
+        max_batch_tickets=args.max_batch_tickets,
+        refresh_interval_batches=args.refresh_every,
+        dead_letter_dir=(
+            Path(args.dead_letter_dir) if args.dead_letter_dir else None
+        ),
+        breaker=BreakerConfig(
+            failure_threshold=args.breaker_threshold,
+            reset_seconds=args.breaker_reset,
+        ),
+    )
+    router = IngestRouter(
+        config, initial=initial, cache=_cache_from(args)
+    )
+
+    async def _run() -> None:
+        server = await serve_http(router, host=args.host, port=args.port)
+        bound = server.sockets[0].getsockname()
+        print(f"listening on {bound[0]}:{bound[1]}")
+        print(
+            f"POST /ingest/<source>  GET /healthz  GET /metrics  "
+            f"(queue watermark {config.queue_high_watermark}, "
+            f"max batch {config.max_batch_tickets} tickets)"
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await router.stop(drain=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    snapshot = router.metrics_snapshot()
+    counters = snapshot["counters"]
+    print("\ningest summary:")
+    for key in (
+        "batches_submitted", "batches_accepted", "batches_quarantined",
+        "batches_dead_lettered", "batches_rejected_queue_full",
+        "batches_rejected_breaker", "tickets_submitted", "tickets_accepted",
+        "tickets_quarantined", "tickets_dead_lettered", "retries",
+    ):
+        print(f"  {key}: {counters[key]}")
+    print(f"  live tickets: {len(router.live)}")
+    return 0
+
+
+def _cmd_replay_deadletter(args: argparse.Namespace) -> int:
+    from repro.core.dataset import FOTDataset
+    from repro.robustness.batch import validate_batch
+    from repro.serve import DeadLetterStore
+
+    store = DeadLetterStore(Path(args.directory))
+    entries = store.entries()
+    if not entries:
+        print(f"no dead-lettered batches under {args.directory}")
+        return 0
+    accepted: list = []
+    n_recovered = 0
+    n_quarantined = 0
+    still_poison = []
+    for entry, records in store.iter_batches():
+        validation = validate_batch(
+            records,
+            source=f"dead-letter#{entry.seq}",
+            max_tickets=args.max_batch_tickets,
+        )
+        if validation.accepted:
+            accepted.append(validation.dataset)
+            n_recovered += validation.n_accepted
+            n_quarantined += validation.n_quarantined
+            print(
+                f"  seq {entry.seq} ({entry.source}, parked as "
+                f"{entry.reason}): recovered {validation.n_accepted} "
+                f"tickets, quarantined {validation.n_quarantined}"
+            )
+            if args.drop:
+                store.remove(entry.seq)
+        else:
+            still_poison.append(entry)
+            print(
+                f"  seq {entry.seq} ({entry.source}, parked as "
+                f"{entry.reason}): still poison ({validation.verdict}: "
+                f"{validation.reason})"
+            )
+    print(
+        f"\nreplayed {len(entries)} batches: {len(accepted)} accepted "
+        f"({n_recovered} tickets, {n_quarantined} quarantined), "
+        f"{len(still_poison)} still poison"
+    )
+    if args.out and accepted:
+        merged = FOTDataset.concat_many(accepted)
+        core_io.save(merged, args.out)
+        print(f"wrote {len(merged)} recovered tickets to {args.out}")
+    return 1 if still_poison else 0
+
+
 def _strip_separator(extra: Sequence[str]) -> Sequence[str]:
     """Drop the optional '--' REMAINDER separator."""
     return extra[1:] if extra and extra[0] == "--" else extra
@@ -383,6 +496,76 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=20170626)
     _add_jobs_flag(check)
     check.set_defaults(func=_cmd_selfcheck)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the streaming ticket-ingestion service "
+        "(POST /ingest/<source>, GET /healthz, GET /metrics)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8437)
+    srv.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after this many seconds (default: run until ^C)",
+    )
+    srv.add_argument(
+        "--dataset", default=None,
+        help="seed the live dataset from an existing dump",
+    )
+    srv.add_argument(
+        "--dead-letter-dir", default=None, dest="dead_letter_dir",
+        help="durable dead-letter store directory (default: in-memory)",
+    )
+    srv.add_argument(
+        "--queue-watermark", type=int, default=64, dest="queue_watermark",
+        help="bounded ingest queue capacity; beyond it submissions get "
+        "HTTP 429 (default 64)",
+    )
+    srv.add_argument(
+        "--max-batch-tickets", type=int, default=10_000,
+        dest="max_batch_tickets",
+        help="batches above this ticket count are dead-lettered as "
+        "oversized (default 10000)",
+    )
+    srv.add_argument(
+        "--refresh-every", type=int, default=0, dest="refresh_every",
+        metavar="N",
+        help="recompute the headline report every N accepted batches "
+        "(0 disables; default 0)",
+    )
+    srv.add_argument(
+        "--breaker-threshold", type=int, default=5, dest="breaker_threshold",
+        help="consecutive failures before a source's circuit breaker "
+        "opens (default 5)",
+    )
+    srv.add_argument(
+        "--breaker-reset", type=float, default=30.0, dest="breaker_reset",
+        help="seconds an open breaker waits before half-open probing "
+        "(default 30)",
+    )
+    _add_cache_flags(srv)
+    srv.set_defaults(func=_cmd_serve)
+
+    rdl = sub.add_parser(
+        "replay-deadletter",
+        help="re-validate dead-lettered batches and recover what now "
+        "passes (exit 1 if any batch is still poison)",
+    )
+    rdl.add_argument("directory", help="the service's --dead-letter-dir")
+    rdl.add_argument(
+        "--out", default=None,
+        help="write recovered tickets to this dump (jsonl/csv)",
+    )
+    rdl.add_argument(
+        "--drop", action="store_true",
+        help="remove successfully replayed batches from the store",
+    )
+    rdl.add_argument(
+        "--max-batch-tickets", type=int, default=10_000,
+        dest="max_batch_tickets",
+        help="size cap applied during re-validation (default 10000)",
+    )
+    rdl.set_defaults(func=_cmd_replay_deadletter)
 
     lint = sub.add_parser(
         "lint",

@@ -533,6 +533,27 @@ class FOTDataset:
         )
         return FOTDataset.from_store(store)
 
+    @classmethod
+    def concat_many(cls, datasets: Sequence["FOTDataset"]) -> "FOTDataset":
+        """Concatenate many datasets in one pass.
+
+        This is the streaming append path: the live ingestion store
+        compacts its pending batch views into the base store with a
+        single :meth:`ColumnStore.concatenate` call (one copy of every
+        column) instead of pairwise :meth:`concat` (which would copy
+        the whole store once per batch).
+        """
+        parts = [d for d in datasets if len(d)]
+        if not parts:
+            return cls()
+        if len(parts) == 1:
+            single = parts[0]
+            return cls.from_store(single._store, single._indices)
+        store = ColumnStore.concatenate(
+            [(d._store, d._gindices()) for d in parts]
+        )
+        return cls.from_store(store)
+
     def summary(self) -> Dict[str, object]:
         """Cheap headline numbers, mostly for logging and the CLI."""
         return {

@@ -35,7 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple, Union
 
 if TYPE_CHECKING:
     from repro.core.dataset import FOTDataset
@@ -90,6 +90,10 @@ class AnalysisCache:
     directory: Optional[Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
     _lru: "OrderedDict[str, Any]" = field(default_factory=OrderedDict)
+    #: dataset fingerprint -> keys cached for it in this process; lets
+    #: the streaming append path evict every entry of a superseded view
+    #: (:meth:`invalidate`) without rehashing the whole key space.
+    _fp_keys: Dict[str, Set[str]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.directory is not None:
@@ -112,6 +116,7 @@ class AnalysisCache:
     def call(self, fn: Callable, dataset: "FOTDataset", **params: Any) -> Any:
         """``fn(dataset, **params)``, memoized on content."""
         key = self.key_for(fn, dataset, params)
+        self._fp_keys.setdefault(dataset.fingerprint(), set()).add(key)
         hit, value = self._get(key)
         if hit:
             return value
@@ -126,21 +131,42 @@ class AnalysisCache:
             self.stats.hits += 1
             return True, self._lru[key]
         if self.directory is not None:
-            path = self._disk_path(key)
-            try:
-                with open(path, "rb") as handle:
-                    value = pickle.load(handle)
-            except FileNotFoundError:
-                pass
-            except (OSError, pickle.PickleError, EOFError, AttributeError,
-                    ImportError, IndexError):
-                self.stats.errors += 1
-            else:
+            hit, value = self._disk_get(key)
+            if hit:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 self._remember(key, value)
                 return True, value
         self.stats.misses += 1
+        return False, None
+
+    def _disk_get(self, key: str) -> Tuple[bool, Any]:
+        """One disk-tier lookup, tolerant of concurrent writers.
+
+        A reader racing a writer's ``mkstemp`` + ``os.replace`` can see
+        the entry missing or half-materialized for an instant, so a
+        vanished file or a partial read is retried exactly once before
+        being treated as a miss; persistent corruption counts as an
+        error, persistent absence as a plain miss.
+        """
+        path = self._disk_path(key)
+        for attempt in range(2):
+            try:
+                with open(path, "rb") as handle:
+                    return True, pickle.load(handle)
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+            except (EOFError, pickle.UnpicklingError):
+                # Truncated/torn pickle: retry once (writer may have
+                # finished the atomic replace by now), then give up.
+                if attempt == 0:
+                    continue
+                self.stats.errors += 1
+            except (OSError, pickle.PickleError, AttributeError,
+                    ImportError, IndexError):
+                self.stats.errors += 1
+                break
         return False, None
 
     def _put(self, key: str, value: Any) -> None:
@@ -180,12 +206,47 @@ class AnalysisCache:
     # ------------------------------------------------------------------
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory tier; with ``disk=True`` also delete the
-        on-disk entries (but not the directory itself)."""
+        on-disk entries (but not the directory itself).
+
+        Tolerant of concurrent writers/clearers: entries (or the whole
+        directory) vanishing mid-iteration are simply skipped.
+        """
         self._lru.clear()
+        self._fp_keys.clear()
         if disk and self.directory is not None and self.directory.exists():
-            for path in sorted(self.directory.glob("*/*.pkl")):
+            try:
+                paths = sorted(self.directory.glob("*/*.pkl"))
+            except OSError:
+                paths = []
+            for path in paths:
                 with contextlib.suppress(OSError):
                     path.unlink()
+
+    def invalidate(
+        self, dataset: Union["FOTDataset", str], *, disk: bool = True
+    ) -> int:
+        """Evict every entry cached for ``dataset`` (or a raw dataset
+        fingerprint) by this process.
+
+        The streaming append path calls this when a live view is
+        superseded by a compaction: content keying already guarantees
+        *correctness* (the new view has a new fingerprint and misses),
+        but without eviction the entries of dead views pin the LRU and
+        the disk tier forever.  Returns the number of in-memory entries
+        dropped.
+        """
+        fingerprint = (
+            dataset if isinstance(dataset, str) else dataset.fingerprint()
+        )
+        keys = self._fp_keys.pop(fingerprint, set())
+        removed = 0
+        for key in keys:
+            if self._lru.pop(key, None) is not None:
+                removed += 1
+            if disk and self.directory is not None:
+                with contextlib.suppress(OSError):
+                    self._disk_path(key).unlink()
+        return removed
 
     def __len__(self) -> int:
         return len(self._lru)

@@ -8,6 +8,10 @@ toolkit survive — and *measure* — such dirt:
 * :mod:`repro.robustness.quarantine` — the :class:`QuarantineReport`
   that ``repro.core.io``'s ``strict=False`` loaders fill with every
   skipped line and applied repair.
+* :mod:`repro.robustness.batch` — batch-granular quarantine for the
+  streaming ingestion service: a whole batch that is oversized,
+  structurally broken or mostly dirt is rejected (dead-letterable)
+  instead of partially appended.
 * :mod:`repro.robustness.chaos` — deterministic, seeded corruptors that
   mutate a clean trace to model real FMS pathologies (duplicates, clock
   skew, dropped ``op_time``, truncated fields, bad rack positions,
@@ -39,10 +43,15 @@ from repro.robustness.quarantine import (
 )
 
 _LAZY = {
+    "BatchValidation": "repro.robustness.batch",
+    "validate_batch": "repro.robustness.batch",
+    "batch": "repro.robustness.batch",
     "CorruptionSpec": "repro.robustness.chaos",
     "ChaosManifest": "repro.robustness.chaos",
     "CORRUPTION_KINDS": "repro.robustness.chaos",
+    "STREAM_CORRUPTION_KINDS": "repro.robustness.chaos",
     "corrupt_records": "repro.robustness.chaos",
+    "corrupt_stream": "repro.robustness.chaos",
     "corrupt_dataset": "repro.robustness.chaos",
     "DriftCell": "repro.robustness.drift",
     "DriftTable": "repro.robustness.drift",
@@ -60,7 +69,7 @@ def __getattr__(name: str):
     import importlib
 
     module = importlib.import_module(target)
-    if name in ("chaos", "drift"):
+    if name in ("batch", "chaos", "drift"):
         return module
     return getattr(module, name)
 
@@ -76,10 +85,14 @@ __all__ = [
     "InsufficientDataError",
     "DEFAULT_MAX_POSITION",
     "clean_response_times",
+    "BatchValidation",
+    "validate_batch",
     "CorruptionSpec",
     "ChaosManifest",
     "CORRUPTION_KINDS",
+    "STREAM_CORRUPTION_KINDS",
     "corrupt_records",
+    "corrupt_stream",
     "corrupt_dataset",
     "DriftCell",
     "DriftTable",

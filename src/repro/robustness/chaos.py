@@ -19,6 +19,14 @@ model the pathologies the paper flags in §VII:
 * ``mislabel_category`` — the category silently swapped to another
   *valid* value (operator mis-filing; loads cleanly, skews Table I).
 
+A second registry corrupts at the *stream* level — the delivery
+pathologies of a feed of batches hitting the ingestion service
+(:mod:`repro.serve`): ``truncate_batch`` (producer crash mid-send),
+``duplicate_batch`` (at-least-once delivery), ``reorder_stream``
+(out-of-order timestamps), ``oversize_batch`` (backlog flush tripping
+the size cap) and ``slow_batch`` (stall metadata for the driver to
+enact).  See :func:`corrupt_stream`.
+
 Every corruptor is driven by a :class:`numpy.random.Generator` seeded
 from ``(seed, corruptor index)``, so the same seed always yields the
 same corrupted records **and** the same machine-readable
@@ -69,10 +77,14 @@ class CorruptionSpec:
     intensity: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.kind not in CORRUPTION_KINDS:
+        if (
+            self.kind not in CORRUPTION_KINDS
+            and self.kind not in STREAM_CORRUPTION_KINDS
+        ):
             raise ValueError(
                 f"unknown corruption kind {self.kind!r}; "
-                f"known: {', '.join(CORRUPTION_KINDS)}"
+                f"record kinds: {', '.join(CORRUPTION_KINDS)}; "
+                f"stream kinds: {', '.join(STREAM_CORRUPTION_KINDS)}"
             )
         if not 0.0 <= self.intensity <= 1.0:
             raise ValueError(f"intensity must be in [0, 1], got {self.intensity}")
@@ -324,6 +336,12 @@ def corrupt_records(
     ``(seed, position in specs)``, so reordering specs changes the
     output but re-running with the same arguments never does.
     """
+    for spec in specs:
+        if spec.kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"{spec.kind!r} is a stream-level corruption; "
+                f"use corrupt_stream"
+            )
     current = [dict(r) for r in records]
     n_input = len(current)
     manifest = ChaosManifest(seed=seed, n_input=n_input, n_output=n_input)
@@ -348,14 +366,201 @@ def corrupt_dataset(
     return corrupt_records(records, specs, seed)
 
 
+# ----------------------------------------------------------------------
+# stream-level corruptors — delivery pathologies of a *feed* of batches
+# (the ingestion service's chaos surface).  Each takes and returns a
+# list of batches (lists of records) plus a manifest entry.
+# ----------------------------------------------------------------------
+StreamBatch = List[Record]
+
+
+def _stream_truncate_batch(
+    batches: List[StreamBatch], rng: np.random.Generator, intensity: float
+) -> Tuple[List[StreamBatch], Dict[str, object]]:
+    """A producer crashing mid-send: sampled batches lose their tail."""
+    indices = _sample_indices(rng, len(batches), intensity)
+    fractions = rng.uniform(0.1, 0.9, size=indices.size)
+    out = [list(b) for b in batches]
+    truncated: List[Dict[str, object]] = []
+    for pos, i in enumerate(indices.tolist()):
+        if not out[i]:
+            continue
+        keep = max(1, int(len(out[i]) * float(fractions[pos])))
+        n_dropped = len(out[i]) - keep
+        if n_dropped <= 0:
+            continue
+        out[i] = out[i][:keep]
+        truncated.append({"batch": i, "n_dropped": n_dropped})
+    return out, {
+        "kind": "truncate_batch",
+        "intensity": intensity,
+        "n_affected": len(truncated),
+        "batches": truncated,
+    }
+
+
+def _stream_duplicate_batch(
+    batches: List[StreamBatch], rng: np.random.Generator, intensity: float
+) -> Tuple[List[StreamBatch], Dict[str, object]]:
+    """At-least-once delivery: sampled batches arrive twice."""
+    duplicated = set(_sample_indices(rng, len(batches), intensity).tolist())
+    out: List[StreamBatch] = []
+    affected: List[int] = []
+    for i, batch in enumerate(batches):
+        out.append(list(batch))
+        if i in duplicated:
+            out.append([dict(r) for r in batch])
+            affected.append(i)
+    return out, {
+        "kind": "duplicate_batch",
+        "intensity": intensity,
+        "n_affected": len(affected),
+        "batches": affected,
+    }
+
+
+def _stream_reorder(
+    batches: List[StreamBatch], rng: np.random.Generator, intensity: float
+) -> Tuple[List[StreamBatch], Dict[str, object]]:
+    """Out-of-order delivery: sampled disjoint adjacent pairs swap, so
+    the consumer sees older timestamps after newer ones."""
+    out = [list(b) for b in batches]
+    candidates = _sample_indices(rng, max(0, len(out) - 1), intensity)
+    swapped: List[int] = []
+    last = -2
+    for i in candidates.tolist():
+        if i <= last + 1:
+            continue
+        out[i], out[i + 1] = out[i + 1], out[i]
+        swapped.append(i)
+        last = i
+    return out, {
+        "kind": "reorder_stream",
+        "intensity": intensity,
+        "n_affected": len(swapped),
+        "pairs": swapped,
+    }
+
+
+def _stream_oversize_batch(
+    batches: List[StreamBatch], rng: np.random.Generator, intensity: float
+) -> Tuple[List[StreamBatch], Dict[str, object]]:
+    """A producer flushing a huge backlog in one request: sampled
+    batches are tiled ``factor``× (fresh ids), tripping the router's
+    ``max_batch_tickets`` poison check."""
+    indices = _sample_indices(rng, len(batches), intensity)
+    factors = rng.integers(2, 5, size=indices.size)
+    out = [list(b) for b in batches]
+    affected: List[Dict[str, object]] = []
+    for pos, i in enumerate(indices.tolist()):
+        base = out[i]
+        if not base:
+            continue
+        factor = int(factors[pos])
+        next_id = _next_fot_id(base)
+        grown = [dict(r) for r in base]
+        for _ in range(factor - 1):
+            for record in base:
+                clone = dict(record)
+                clone["fot_id"] = next_id
+                next_id += 1
+                grown.append(clone)
+        out[i] = grown
+        affected.append({"batch": i, "factor": factor, "n_records": len(grown)})
+    return out, {
+        "kind": "oversize_batch",
+        "intensity": intensity,
+        "n_affected": len(affected),
+        "batches": affected,
+    }
+
+
+def _stream_slow_batch(
+    batches: List[StreamBatch], rng: np.random.Generator, intensity: float
+) -> Tuple[List[StreamBatch], Dict[str, object]]:
+    """A stalling producer.  Records are untouched; the manifest entry
+    carries per-batch delay metadata (``{"delays": {index: seconds}}``)
+    for the driver (soak bench, tests) to enact — e.g. as a validation
+    stall — so determinism stays with the seed, not the wall clock."""
+    indices = _sample_indices(rng, len(batches), intensity)
+    delays = rng.uniform(0.05, 2.0, size=indices.size)
+    return [list(b) for b in batches], {
+        "kind": "slow_batch",
+        "intensity": intensity,
+        "n_affected": int(indices.size),
+        "delays": {
+            str(i): float(delays[pos])
+            for pos, i in enumerate(indices.tolist())
+        },
+    }
+
+
+_STREAM_CORRUPTORS: Dict[
+    str,
+    Callable[
+        [List[StreamBatch], np.random.Generator, float],
+        Tuple[List[StreamBatch], Dict[str, object]],
+    ],
+] = {
+    "truncate_batch": _stream_truncate_batch,
+    "duplicate_batch": _stream_duplicate_batch,
+    "reorder_stream": _stream_reorder,
+    "oversize_batch": _stream_oversize_batch,
+    "slow_batch": _stream_slow_batch,
+}
+
+STREAM_CORRUPTION_KINDS: Tuple[str, ...] = tuple(_STREAM_CORRUPTORS)
+
+
+def default_stream_specs(intensity: float = 0.05) -> List[CorruptionSpec]:
+    """One spec per known stream-level kind at a common intensity."""
+    return [CorruptionSpec(kind, intensity) for kind in STREAM_CORRUPTION_KINDS]
+
+
+def corrupt_stream(
+    batches: Sequence[Sequence[Record]],
+    specs: Sequence[CorruptionSpec],
+    seed: int,
+) -> Tuple[List[StreamBatch], ChaosManifest]:
+    """Apply stream-level ``specs`` in order to copies of ``batches``.
+
+    Same determinism contract as :func:`corrupt_records`: each
+    corruptor's generator is seeded from ``(seed, position in specs)``.
+    The manifest counts *records* (``n_input``/``n_output``), so the
+    soak bench can derive the delivered-ticket denominator of its
+    zero-loss ledger directly from it.
+    """
+    for spec in specs:
+        if spec.kind not in STREAM_CORRUPTION_KINDS:
+            raise ValueError(
+                f"{spec.kind!r} is a record-level corruption; "
+                f"use corrupt_records"
+            )
+    current: List[StreamBatch] = [[dict(r) for r in b] for b in batches]
+    n_input = sum(len(b) for b in current)
+    manifest = ChaosManifest(seed=seed, n_input=n_input, n_output=n_input)
+    for position, spec in enumerate(specs):
+        rng = np.random.default_rng([seed, position])
+        current, entry = _STREAM_CORRUPTORS[spec.kind](
+            current, rng, spec.intensity
+        )
+        manifest.injections.append(entry)
+    manifest.n_output = sum(len(b) for b in current)
+    return current, manifest
+
+
 __all__ = [
     "Record",
+    "StreamBatch",
     "CorruptionSpec",
     "ChaosManifest",
     "CORRUPTION_KINDS",
+    "STREAM_CORRUPTION_KINDS",
     "TRUNCATABLE_FIELDS",
     "BAD_POSITION_VALUES",
     "default_specs",
+    "default_stream_specs",
     "corrupt_records",
+    "corrupt_stream",
     "corrupt_dataset",
 ]

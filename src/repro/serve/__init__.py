@@ -1,0 +1,89 @@
+"""``repro.serve`` — the streaming ticket-ingestion service.
+
+The batch pipeline (``load → analyze → report``) treats the four-year
+FOT as a finished artifact.  This package treats it as a *feed*: an
+asyncio router accepts ticket batches from named sources (in-process
+or over a tiny dependency-free HTTP surface), validates and
+quarantines them batch-granularly through :mod:`repro.robustness`,
+appends the survivors to a growing dataset, and keeps the headline
+analyses warm through the content-keyed :class:`~repro.engine.cache.
+AnalysisCache`.
+
+Failure handling is the point, not an afterthought:
+
+* **backpressure** — a bounded queue rejects at its high watermark
+  (HTTP 429) instead of buffering without limit;
+* **circuit breakers** — per-source, with half-open probing, so a
+  poison-spewing source stops consuming validation budget;
+* **retries** — transient append failures retry under jittered
+  exponential backoff;
+* **dead letters** — every batch the pipeline cannot accept is parked
+  in an atomic, replayable JSONL store, never dropped;
+* **observability** — ``/healthz``, ``/metrics`` and structured
+  counters make every disposition countable; the ledger invariant
+  ``accepted + quarantined + dead_lettered == submitted`` is what the
+  soak bench asserts.
+
+Quickstart (in-process)::
+
+    from repro.serve import IngestRouter, ServeConfig
+
+    router = IngestRouter(ServeConfig(refresh_interval_batches=100))
+    router.start()                      # inside a running event loop
+    router.submit("dc-east", records)   # raises QueueFullError on 429
+    await router.drain()
+    snapshot = router.live.current()    # immutable FOTDataset
+
+or over the wire: ``fouryears serve --port 8437`` then POST a JSON
+array of records to ``/ingest/<source>``.
+"""
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+from repro.serve.config import BreakerConfig, RetryPolicy, ServeConfig
+from repro.serve.deadletter import (
+    DEAD_LETTER_REASONS,
+    DeadLetterEntry,
+    DeadLetterStore,
+    MemoryDeadLetterStore,
+)
+from repro.serve.http import ServeApp, serve_http
+from repro.serve.metrics import IngestMetrics
+from repro.serve.queue import IngestQueue, QueueFullError
+from repro.serve.retry import RetryExhaustedError, retry_async
+from repro.serve.router import IngestBatch, IngestRouter, SubmitReceipt
+from repro.serve.store import LiveDataset, TransientAppendError
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "DEAD_LETTER_REASONS",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "DeadLetterEntry",
+    "DeadLetterStore",
+    "MemoryDeadLetterStore",
+    "IngestBatch",
+    "IngestMetrics",
+    "IngestQueue",
+    "IngestRouter",
+    "LiveDataset",
+    "QueueFullError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "ServeApp",
+    "ServeConfig",
+    "SubmitReceipt",
+    "TransientAppendError",
+    "retry_async",
+    "serve_http",
+]

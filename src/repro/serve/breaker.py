@@ -1,0 +1,176 @@
+"""Per-source circuit breakers with half-open probing.
+
+A source that keeps delivering poison batches (or keeps timing out)
+should stop consuming validation budget: after ``failure_threshold``
+consecutive failures its breaker opens and submissions are rejected at
+the door (HTTP 503).  After ``reset_seconds`` the breaker goes
+half-open and admits ``half_open_probes`` probe batches; one success
+closes it, one failure re-opens it and restarts the clock.
+
+The clock is injectable so tests (and the deterministic soak bench)
+drive transitions without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.serve.config import BreakerConfig
+
+#: Breaker state names (stable strings, surfaced in /metrics).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpenError(RuntimeError):
+    """Submission rejected because the source's breaker is open.
+
+    Maps to HTTP 503 on the wire.
+    """
+
+    def __init__(self, source: str, retry_after: float):
+        super().__init__(
+            f"circuit breaker open for source {source!r}; "
+            f"retry in {retry_after:.1f}s"
+        )
+        self.source = source
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """One source's breaker: closed -> open -> half-open -> closed.
+
+    ``on_transition(new_state)`` fires on every state change so the
+    metrics surface can count opens/half-opens/closes.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        on_transition: Optional[Callable[[str], None]] = None,
+    ):
+        self.config = config
+        self._clock = clock if clock is not None else time.monotonic
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.transitions: List[Tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        self.transitions.append((state, self._clock()))
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the open -> half-open timeout lazily."""
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.config.reset_seconds
+        ):
+            self._probes_in_flight = 0
+            self._transition(HALF_OPEN)
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker next admits a probe (0 when it
+        already would)."""
+        if self._state != OPEN:
+            return 0.0
+        remaining = self.config.reset_seconds - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a batch from this source enter the pipeline right now?
+
+        Half-open admits at most ``half_open_probes`` in-flight probes;
+        their outcomes arrive later via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN:
+            if self._probes_in_flight < self.config.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+        return False
+
+    def release_probe(self) -> None:
+        """Return a half-open probe slot whose batch never entered the
+        pipeline (e.g. rejected by queue backpressure), so probing
+        cannot deadlock on slots that will never report an outcome."""
+        if self._state == HALF_OPEN and self._probes_in_flight > 0:
+            self._probes_in_flight -= 1
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+
+class BreakerBoard:
+    """The per-source breaker registry the router consults."""
+
+    def __init__(
+        self,
+        config: BreakerConfig,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        on_transition: Optional[Callable[[str], None]] = None,
+    ):
+        self.config = config
+        self._clock = clock
+        self._on_transition = on_transition
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, source: str) -> CircuitBreaker:
+        breaker = self._breakers.get(source)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config, clock=self._clock, on_transition=self._on_transition
+            )
+            self._breakers[source] = breaker
+        return breaker
+
+    def states(self) -> Dict[str, str]:
+        """``{source: state}`` for the health/metrics surfaces."""
+        return {source: b.state for source, b in sorted(self._breakers.items())}
+
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "BreakerBoard",
+]

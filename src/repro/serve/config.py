@@ -1,0 +1,123 @@
+"""Tunables for the streaming ingestion service.
+
+One frozen dataclass holds every production knob of :mod:`repro.serve`:
+queue sizing (backpressure), per-source circuit-breaker thresholds,
+retry/backoff policy for transient append failures, batch validation
+limits (oversize / poison thresholds), the validation timeout, and the
+dead-letter location.  The defaults are sized for the soak bench
+(~500-ticket batches at millions of tickets/hour); DESIGN.md's
+"Ingestion service" section documents how to resize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient append failures.
+
+    Attempt ``i`` (0-based) sleeps ``min(base * 2**i, max_delay)``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``.  ``attempts`` counts *tries*, so
+    ``attempts=3`` means one initial try plus two retries.
+    """
+
+    attempts: int = 3
+    base_seconds: float = 0.05
+    max_seconds: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_seconds < 0 or self.max_seconds < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, uniform: float) -> float:
+        """Backoff before retrying after 0-based try ``attempt``;
+        ``uniform`` is a draw from [0, 1)."""
+        raw = min(self.base_seconds * (2.0 ** attempt), self.max_seconds)
+        scale = 1.0 - self.jitter + 2.0 * self.jitter * uniform
+        return raw * scale
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-source circuit-breaker thresholds.
+
+    ``failure_threshold`` consecutive batch failures open the breaker;
+    after ``reset_seconds`` it lets ``half_open_probes`` batches through
+    (half-open).  A probe success closes it, a probe failure re-opens.
+    """
+
+    failure_threshold: int = 5
+    reset_seconds: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_seconds < 0:
+            raise ValueError("reset_seconds must be >= 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the ingestion router needs to know.
+
+    Args:
+        queue_high_watermark: max queued batches; ``submit`` raises
+            :class:`~repro.serve.queue.QueueFullError` (HTTP 429) above it.
+        max_batch_tickets: batches larger than this are dead-lettered
+            unparsed (``oversized`` poison class).
+        poison_skip_fraction: a batch whose quarantine skips exceed this
+            fraction of its lines is rejected whole (``dirty`` poison
+            class) instead of partially appended.
+        validate_timeout_seconds: wall-clock budget for validating one
+            batch (runs off the event loop; slow-loris protection).
+        compact_threshold_tickets: pending appends are merged into the
+            base column store once they exceed this many tickets, so
+            per-batch append cost stays O(batch), not O(store).
+        refresh_interval_batches: recompute the headline report through
+            the analysis cache every N accepted batches (0 disables).
+        dead_letter_dir: where poison batches land; ``None`` keeps them
+            in memory only (tests).
+    """
+
+    queue_high_watermark: int = 64
+    max_batch_tickets: int = 10_000
+    poison_skip_fraction: float = 0.5
+    validate_timeout_seconds: float = 10.0
+    request_read_timeout_seconds: float = 5.0
+    compact_threshold_tickets: int = 65_536
+    refresh_interval_batches: int = 0
+    dead_letter_dir: Optional[Path] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_high_watermark < 1:
+            raise ValueError("queue_high_watermark must be >= 1")
+        if self.max_batch_tickets < 1:
+            raise ValueError("max_batch_tickets must be >= 1")
+        if not 0.0 <= self.poison_skip_fraction <= 1.0:
+            raise ValueError("poison_skip_fraction must be in [0, 1]")
+        if self.validate_timeout_seconds <= 0:
+            raise ValueError("validate_timeout_seconds must be > 0")
+        if self.request_read_timeout_seconds <= 0:
+            raise ValueError("request_read_timeout_seconds must be > 0")
+        if self.compact_threshold_tickets < 1:
+            raise ValueError("compact_threshold_tickets must be >= 1")
+        if self.refresh_interval_batches < 0:
+            raise ValueError("refresh_interval_batches must be >= 0")
+
+
+__all__ = ["RetryPolicy", "BreakerConfig", "ServeConfig"]

@@ -1,0 +1,296 @@
+"""Dead-letter store for poison batches.
+
+A batch the pipeline cannot accept — oversized, structurally broken,
+too dirty to trust, or failing the append path even after retries — is
+never dropped: its raw records land in an atomic JSONL file under the
+dead-letter directory and a manifest entry records *why*.  Everything is
+replayable: ``fouryears replay-deadletter`` re-validates each parked
+batch (after a loader fix or a threshold change) and re-ingests what now
+passes.
+
+Layout::
+
+    <dir>/manifest.json            # schema, next_seq, entries[]
+    <dir>/batches/dl-000001.jsonl  # raw records, one JSON object/line
+
+Both the batch file and the manifest are written atomically (temp file
++ rename), so a crash mid-dead-letter never leaves a manifest entry
+pointing at a truncated batch: the batch file is durable before the
+manifest names it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import suppress
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.io import write_jsonl_records
+
+#: Stable reason vocabulary (mirrors the poison classes of
+#: :mod:`repro.robustness.batch` plus the pipeline-level failures).
+REASON_OVERSIZED = "oversized"
+REASON_STRUCTURAL = "structural"
+REASON_DIRTY = "dirty"
+REASON_APPEND_FAILED = "append_failed"
+REASON_TIMEOUT = "timeout"
+REASON_INTERNAL = "internal_error"
+
+DEAD_LETTER_REASONS = (
+    REASON_OVERSIZED,
+    REASON_STRUCTURAL,
+    REASON_DIRTY,
+    REASON_APPEND_FAILED,
+    REASON_TIMEOUT,
+    REASON_INTERNAL,
+)
+
+_SCHEMA = 1
+
+
+def _jsonable(records: Sequence[object]) -> List[Dict[str, object]]:
+    """Best-effort JSON projection of records that resist serialization."""
+    out: List[Dict[str, object]] = []
+    for record in records:
+        try:
+            json.dumps(record)
+        except (TypeError, ValueError):
+            out.append({"__unserializable__": repr(record)})
+        else:
+            out.append(record)  # type: ignore[arg-type]
+    return out
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One parked batch: where it is and why it is there."""
+
+    seq: int
+    file: str
+    source: str
+    reason: str
+    error: str
+    n_records: int
+    parked_at: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "file": self.file,
+            "source": self.source,
+            "reason": self.reason,
+            "error": self.error,
+            "n_records": self.n_records,
+            "parked_at": self.parked_at,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "DeadLetterEntry":
+        return cls(
+            seq=int(raw["seq"]),                       # type: ignore[arg-type]
+            file=str(raw["file"]),
+            source=str(raw["source"]),
+            reason=str(raw["reason"]),
+            error=str(raw.get("error", "")),
+            n_records=int(raw["n_records"]),           # type: ignore[arg-type]
+            parked_at=float(raw.get("parked_at", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+class DeadLetterStore:
+    """Durable, replayable parking lot for poison batches."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self._batches_dir = self.directory / "batches"
+        self._manifest_path = self.directory / "manifest.json"
+
+    # ------------------------------------------------------------------
+    # manifest plumbing
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> Dict[str, object]:
+        try:
+            raw = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {"schema": _SCHEMA, "next_seq": 1, "entries": []}
+        raw.setdefault("next_seq", 1)
+        raw.setdefault("entries", [])
+        return raw
+
+    def _write_manifest(self, manifest: Dict[str, object]) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.directory), prefix="manifest.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self._manifest_path)
+        except BaseException:
+            with suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        source: str,
+        records: Sequence[Dict[str, object]],
+        reason: str,
+        error: str = "",
+        *,
+        now: Optional[float] = None,
+    ) -> DeadLetterEntry:
+        """Park a batch; returns its manifest entry.
+
+        The batch file is fully written (atomically) before the
+        manifest references it.
+        """
+        manifest = self._read_manifest()
+        seq = int(manifest["next_seq"])  # type: ignore[arg-type]
+        name = f"dl-{seq:06d}.jsonl"
+        self._batches_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            write_jsonl_records(records, self._batches_dir / name)
+        except (TypeError, ValueError):
+            # Structural garbage can resist JSON; park a repr instead of
+            # losing the batch.
+            write_jsonl_records(_jsonable(records), self._batches_dir / name)
+        entry = DeadLetterEntry(
+            seq=seq,
+            file=f"batches/{name}",
+            source=source,
+            reason=reason,
+            error=error,
+            n_records=len(records),
+            parked_at=time.time() if now is None else now,
+        )
+        manifest["next_seq"] = seq + 1
+        manifest["entries"].append(entry.to_dict())  # type: ignore[union-attr]
+        self._write_manifest(manifest)
+        return entry
+
+    # ------------------------------------------------------------------
+    # reading / replay
+    # ------------------------------------------------------------------
+    def entries(self) -> List[DeadLetterEntry]:
+        """Every parked batch, in parking order."""
+        manifest = self._read_manifest()
+        return [
+            DeadLetterEntry.from_dict(raw)
+            for raw in manifest["entries"]  # type: ignore[union-attr]
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def counts_by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries():
+            counts[entry.reason] = counts.get(entry.reason, 0) + 1
+        return counts
+
+    def load_records(self, entry: DeadLetterEntry) -> List[Dict[str, object]]:
+        """The raw records of a parked batch, ready to re-submit."""
+        path = self.directory / entry.file
+        records: List[Dict[str, object]] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    def iter_batches(self) -> Iterator[tuple]:
+        """Yields ``(entry, records)`` pairs for replay."""
+        for entry in self.entries():
+            yield entry, self.load_records(entry)
+
+    def remove(self, seq: int) -> None:
+        """Drop a replayed batch: manifest entry first, then the file
+        (a crash in between leaves only an orphaned file, never a
+        dangling manifest entry)."""
+        manifest = self._read_manifest()
+        entries = manifest["entries"]  # type: ignore[union-attr]
+        kept = [raw for raw in entries if int(raw["seq"]) != seq]
+        if len(kept) == len(entries):
+            raise KeyError(f"no dead-letter entry with seq {seq}")
+        removed = [raw for raw in entries if int(raw["seq"]) == seq]
+        manifest["entries"] = kept
+        self._write_manifest(manifest)
+        for raw in removed:
+            with suppress(OSError):
+                (self.directory / str(raw["file"])).unlink()
+
+
+class MemoryDeadLetterStore(DeadLetterStore):
+    """In-memory dead letters for tests, the soak bench and routers
+    configured without a ``dead_letter_dir``.
+
+    Same surface as :class:`DeadLetterStore` (countable, inspectable,
+    replayable) minus durability; ``file`` is empty on its entries.
+    """
+
+    def __init__(self) -> None:  # deliberately no super().__init__
+        self._entries: List[DeadLetterEntry] = []
+        self._records: Dict[int, List[Dict[str, object]]] = {}
+        self._next_seq = 1
+
+    def put(
+        self,
+        source: str,
+        records: Sequence[Dict[str, object]],
+        reason: str,
+        error: str = "",
+        *,
+        now: Optional[float] = None,
+    ) -> DeadLetterEntry:
+        seq = self._next_seq
+        self._next_seq += 1
+        entry = DeadLetterEntry(
+            seq=seq,
+            file="",
+            source=source,
+            reason=reason,
+            error=error,
+            n_records=len(records),
+            parked_at=time.time() if now is None else now,
+        )
+        self._entries.append(entry)
+        self._records[seq] = list(records)
+        return entry
+
+    def entries(self) -> List[DeadLetterEntry]:
+        return list(self._entries)
+
+    def load_records(self, entry: DeadLetterEntry) -> List[Dict[str, object]]:
+        return list(self._records[entry.seq])
+
+    def remove(self, seq: int) -> None:
+        kept = [e for e in self._entries if e.seq != seq]
+        if len(kept) == len(self._entries):
+            raise KeyError(f"no dead-letter entry with seq {seq}")
+        self._entries = kept
+        self._records.pop(seq, None)
+
+
+__all__ = [
+    "DEAD_LETTER_REASONS",
+    "REASON_OVERSIZED",
+    "REASON_STRUCTURAL",
+    "REASON_DIRTY",
+    "REASON_APPEND_FAILED",
+    "REASON_TIMEOUT",
+    "REASON_INTERNAL",
+    "DeadLetterEntry",
+    "DeadLetterStore",
+    "MemoryDeadLetterStore",
+]

@@ -1,0 +1,252 @@
+"""A dependency-free asyncio HTTP front-end for the ingest router.
+
+Built directly on ``asyncio.start_server`` (no aiohttp, no new
+dependencies): one connection handler parses a single HTTP/1.1 request,
+dispatches it against the router, and writes a JSON response.  The wire
+surface is deliberately tiny:
+
+* ``POST /ingest/<source>`` — body is a JSON array of ticket records.
+  202 with a :class:`~repro.serve.router.SubmitReceipt` on success,
+  400 on an undecodable body, 408 if the body stalls past the read
+  timeout (slow-loris guard), 413 past ``max_body_bytes``, 429 with a
+  ``Retry-After`` header under queue backpressure, 503 when the
+  source's circuit breaker is open.
+* ``GET /healthz`` — 200 when healthy, 503 when degraded; JSON body
+  either way.
+* ``GET /metrics`` — the full structured counter document, 200.
+
+Everything heavier (batch validation, appends, refreshes) happens in
+the router's worker task, never on a connection handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.serve.breaker import BreakerOpenError
+from repro.serve.metrics import STATUS_OK
+from repro.serve.queue import QueueFullError
+from repro.serve.router import IngestRouter
+
+#: Hard cap on request bodies; generous for 10k-ticket batches but
+#: small enough that one bad client cannot balloon the process.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed request line / headers (response already decided)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _encode_response(
+    status: int,
+    payload: Dict[str, object],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(
+    reader: "asyncio.StreamReader", timeout: float
+) -> Tuple[str, str, bytes]:
+    """``(method, path, body)`` or :class:`_BadRequest`.
+
+    The whole read — request line, headers and body — runs under one
+    wall-clock budget so a stalling client cannot pin the handler.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout
+        )
+    except asyncio.TimeoutError:
+        raise _BadRequest(408, "timed out reading request head") from None
+    except asyncio.IncompleteReadError:
+        raise _BadRequest(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise _BadRequest(400, "request head too large") from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _BadRequest(400, "request head too large")
+
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, path, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise _BadRequest(400, "malformed request line") from None
+
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest(400, "bad Content-Length") from None
+    if length < 0:
+        raise _BadRequest(400, "bad Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+
+    body = b""
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            raise _BadRequest(408, "timed out reading request body") from None
+        except asyncio.IncompleteReadError:
+            raise _BadRequest(400, "connection closed mid-body") from None
+    return method, path, body
+
+
+class ServeApp:
+    """Routes one parsed request against an :class:`IngestRouter`."""
+
+    def __init__(self, router: IngestRouter):
+        self.router = router
+
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """``(status, payload, extra_headers)`` for a request."""
+        if path.startswith("/ingest/"):
+            if method != "POST":
+                return 405, {"error": "POST required"}, {}
+            return self._ingest(path[len("/ingest/"):], body)
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET required"}, {}
+            health = self.router.health()
+            status = 200 if health.get("status") == STATUS_OK else 503
+            return status, health, {}
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "GET required"}, {}
+            return 200, self.router.metrics_snapshot(), {}
+        return 404, {"error": f"no route for {path!r}"}, {}
+
+    def _ingest(
+        self, source: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        if not source:
+            return 400, {"error": "empty source name"}, {}
+        try:
+            records = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"body is not valid JSON: {exc}"}, {}
+        if not isinstance(records, list):
+            return 400, {"error": "body must be a JSON array of records"}, {}
+        try:
+            receipt = self.router.submit(source, records)
+        except QueueFullError as exc:
+            return (
+                429,
+                {"error": str(exc), "queue_depth": exc.depth},
+                {"Retry-After": "1"},
+            )
+        except BreakerOpenError as exc:
+            return (
+                503,
+                {"error": str(exc), "source": exc.source},
+                {"Retry-After": f"{max(1, int(exc.retry_after + 0.5))}"},
+            )
+        return (
+            202,
+            {
+                "seq": receipt.seq,
+                "source": receipt.source,
+                "n_records": receipt.n_records,
+                "queue_depth": receipt.queue_depth,
+            },
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(
+                    reader, self.router.config.request_read_timeout_seconds
+                )
+            except _BadRequest as exc:
+                response = _encode_response(
+                    exc.status, {"error": exc.message}
+                )
+            else:
+                try:
+                    status, payload, headers = self.handle(method, path, body)
+                except Exception as exc:  # handler bug: report, keep serving
+                    status, payload, headers = (
+                        500, {"error": repr(exc)}, {}
+                    )
+                response = _encode_response(status, payload, headers)
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except OSError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+
+async def serve_http(
+    router: IngestRouter,
+    host: str = "127.0.0.1",
+    port: int = 8437,
+) -> "asyncio.AbstractServer":
+    """Start the ingest worker and the HTTP listener; returns the
+    server (caller owns shutdown: ``server.close()`` +
+    ``router.stop()``).  Pass ``port=0`` to bind an ephemeral port."""
+    router.start()
+    app = ServeApp(router)
+    return await asyncio.start_server(
+        app.handle_connection, host=host, port=port,
+        limit=_MAX_HEADER_BYTES,
+    )
+
+
+__all__ = ["MAX_BODY_BYTES", "ServeApp", "serve_http"]

@@ -1,0 +1,148 @@
+"""Failed-batch observability: structured counters and health status.
+
+Every ticket the router touches ends up in exactly one terminal counter
+— ``tickets_accepted``, ``tickets_quarantined`` or
+``tickets_dead_lettered`` — so the soak bench (and an operator's
+dashboard) can assert the zero-silent-loss invariant::
+
+    accepted + quarantined + dead_lettered == delivered
+
+Breaker state transitions are counted *and* surfaced per source, which
+is what the snippet-3-style observability tests key on: an open or
+half-open breaker must be visible in ``/metrics`` without grepping logs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Health statuses reported by :meth:`IngestMetrics.health`.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+
+
+@dataclass
+class IngestMetrics:
+    """Monotonic counters for the ingestion pipeline.
+
+    Single-event-loop writers only; snapshots are plain dicts so the
+    HTTP surface can serve them as JSON without further shaping.
+    """
+
+    # batch-level outcomes
+    batches_submitted: int = 0
+    batches_accepted: int = 0
+    batches_quarantined: int = 0       # accepted with >= 1 skipped line
+    batches_dead_lettered: int = 0
+    batches_rejected_queue_full: int = 0
+    batches_rejected_breaker: int = 0
+    batch_timeouts: int = 0
+    batches_replayed: int = 0
+
+    # ticket-level accounting (the zero-loss ledger)
+    tickets_submitted: int = 0
+    tickets_accepted: int = 0
+    tickets_quarantined: int = 0
+    tickets_dead_lettered: int = 0
+
+    # append-path resilience
+    retries: int = 0
+    append_failures: int = 0
+
+    # breaker transitions
+    breaker_opened: int = 0
+    breaker_half_opened: int = 0
+    breaker_closed: int = 0
+
+    # analysis freshness
+    refreshes: int = 0
+    compactions: int = 0
+
+    started_at: float = field(default_factory=time.time)
+
+    # ------------------------------------------------------------------
+    def record_breaker_transition(self, new_state: str) -> None:
+        if new_state == "open":
+            self.breaker_opened += 1
+        elif new_state == "half_open":
+            self.breaker_half_opened += 1
+        elif new_state == "closed":
+            self.breaker_closed += 1
+
+    @property
+    def tickets_accounted(self) -> int:
+        """Tickets with a terminal disposition (the loss ledger)."""
+        return (
+            self.tickets_accepted
+            + self.tickets_quarantined
+            + self.tickets_dead_lettered
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """All counters as a flat dict (stable key names)."""
+        return {
+            "batches_submitted": self.batches_submitted,
+            "batches_accepted": self.batches_accepted,
+            "batches_quarantined": self.batches_quarantined,
+            "batches_dead_lettered": self.batches_dead_lettered,
+            "batches_rejected_queue_full": self.batches_rejected_queue_full,
+            "batches_rejected_breaker": self.batches_rejected_breaker,
+            "batch_timeouts": self.batch_timeouts,
+            "batches_replayed": self.batches_replayed,
+            "tickets_submitted": self.tickets_submitted,
+            "tickets_accepted": self.tickets_accepted,
+            "tickets_quarantined": self.tickets_quarantined,
+            "tickets_dead_lettered": self.tickets_dead_lettered,
+            "tickets_accounted": self.tickets_accounted,
+            "retries": self.retries,
+            "append_failures": self.append_failures,
+            "breaker_opened": self.breaker_opened,
+            "breaker_half_opened": self.breaker_half_opened,
+            "breaker_closed": self.breaker_closed,
+            "refreshes": self.refreshes,
+            "compactions": self.compactions,
+        }
+
+    def health(
+        self,
+        *,
+        queue_depth: int = 0,
+        queue_capacity: int = 0,
+        open_breakers: Optional[Dict[str, str]] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Health document for ``/healthz``.
+
+        Degraded when any breaker is not closed or the ingest queue is
+        at its high watermark — the two conditions under which a client
+        should back off.
+        """
+        open_breakers = open_breakers or {}
+        reasons = []
+        not_closed = {s: st for s, st in open_breakers.items() if st != "closed"}
+        if not_closed:
+            reasons.append(
+                "breakers not closed: "
+                + ", ".join(f"{s}={st}" for s, st in sorted(not_closed.items()))
+            )
+        if queue_capacity and queue_depth >= queue_capacity:
+            reasons.append(
+                f"ingest queue at high watermark ({queue_depth}/{queue_capacity})"
+            )
+        status = STATUS_DEGRADED if reasons else STATUS_OK
+        stamp = time.time() if now is None else now
+        return {
+            "status": status,
+            "reasons": reasons,
+            "uptime_seconds": max(0.0, stamp - self.started_at),
+            "queue_depth": queue_depth,
+            "queue_capacity": queue_capacity,
+            "breakers": dict(sorted(open_breakers.items())),
+            "tickets_accounted": self.tickets_accounted,
+        }
+
+
+__all__ = ["IngestMetrics", "STATUS_OK", "STATUS_DEGRADED"]

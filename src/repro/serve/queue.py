@@ -1,0 +1,115 @@
+"""Bounded ingest queue with explicit backpressure.
+
+``asyncio.Queue`` blocks producers when full; a streaming ingestion
+service must instead *tell* the producer to back off (HTTP 429), so
+:class:`IngestQueue` exposes a non-blocking :meth:`try_put` that raises
+:class:`QueueFullError` once the high watermark is hit.  The queue also
+tracks its high-watermark hit count and peak depth for ``/metrics``.
+
+Implemented over a plain :class:`~collections.deque` with wakeup
+futures created inside the running loop, so the queue can be
+constructed (and filled) before any event loop exists — unlike
+:class:`asyncio.Queue`, which on Python 3.9 binds to whatever loop is
+current at construction time.  One consumer task is assumed (the
+router's single worker, which keeps append order deterministic).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+
+class QueueFullError(RuntimeError):
+    """The ingest queue is at its high watermark; back off and retry.
+
+    Maps to HTTP 429 on the wire.
+    """
+
+    def __init__(self, depth: int, capacity: int):
+        super().__init__(
+            f"ingest queue full ({depth}/{capacity} batches); retry later"
+        )
+        self.depth = depth
+        self.capacity = capacity
+
+
+class IngestQueue:
+    """A bounded FIFO of pending batches (single consumer).
+
+    The overflow behavior is explicit (raise, never block the producer)
+    and observable.
+    """
+
+    def __init__(self, high_watermark: int):
+        if high_watermark < 1:
+            raise ValueError("high_watermark must be >= 1")
+        self.high_watermark = high_watermark
+        self._items: Deque[Any] = deque()
+        self._unfinished = 0
+        self._wakeup: Optional["asyncio.Future[None]"] = None
+        self._join_waiters: List["asyncio.Future[None]"] = []
+        self.rejections = 0
+        self.peak_depth = 0
+
+    # ------------------------------------------------------------------
+    def try_put(self, item: Any) -> None:
+        """Enqueue ``item`` or raise :class:`QueueFullError` immediately."""
+        if len(self._items) >= self.high_watermark:
+            self.rejections += 1
+            raise QueueFullError(self.depth, self.high_watermark)
+        self._items.append(item)
+        self._unfinished += 1
+        self.peak_depth = max(self.peak_depth, self.depth)
+        if self._wakeup is not None and not self._wakeup.done():
+            self._wakeup.set_result(None)
+
+    async def get(self) -> Any:
+        while not self._items:
+            wakeup = asyncio.get_running_loop().create_future()
+            self._wakeup = wakeup
+            try:
+                await wakeup
+            finally:
+                if self._wakeup is wakeup:
+                    self._wakeup = None
+        return self._items.popleft()
+
+    def task_done(self) -> None:
+        if self._unfinished <= 0:
+            raise ValueError("task_done() called too many times")
+        self._unfinished -= 1
+        if self._unfinished == 0:
+            for waiter in self._join_waiters:
+                if not waiter.done():
+                    waiter.set_result(None)
+            self._join_waiters.clear()
+
+    async def join(self) -> None:
+        """Wait until every enqueued batch has been marked done."""
+        if self._unfinished == 0:
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._join_waiters.append(waiter)
+        await waiter
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.high_watermark
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "depth": self.depth,
+            "capacity": self.high_watermark,
+            "peak_depth": self.peak_depth,
+            "rejections": self.rejections,
+        }
+
+
+__all__ = ["IngestQueue", "QueueFullError"]

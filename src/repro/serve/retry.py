@@ -1,0 +1,76 @@
+"""Retry-with-jittered-exponential-backoff for transient append failures.
+
+The append path can fail transiently (a compaction racing a disk-cache
+write, a reader holding the store briefly).  :func:`retry_async` retries
+a coroutine factory under a :class:`~repro.serve.config.RetryPolicy`,
+sleeping ``min(base * 2**i, max)`` scaled by uniform jitter between
+tries.  The sleep function and the jitter RNG are injectable so tests
+and the soak bench stay deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Optional, Tuple, Type, TypeVar
+
+from repro.serve.config import RetryPolicy
+
+T = TypeVar("T")
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        super().__init__(
+            f"gave up after {attempts} attempts: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+async def retry_async(
+    attempt: Callable[[], Awaitable[T]],
+    policy: RetryPolicy,
+    *,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> T:
+    """Run ``attempt()`` until it succeeds or the policy is exhausted.
+
+    Args:
+        attempt: coroutine factory, re-invoked per try.
+        retry_on: exception types worth retrying; anything else
+            propagates immediately (a poison batch never becomes
+            acceptable by waiting).
+        sleep: awaitable sleeper (defaults to :func:`asyncio.sleep`).
+        rng: jitter source (defaults to a fresh unseeded ``Random``).
+        on_retry: ``(attempt_index, error, delay)`` callback fired
+            before each backoff sleep — the router counts retries here.
+
+    Raises:
+        RetryExhaustedError: once ``policy.attempts`` tries all failed.
+    """
+    do_sleep = sleep if sleep is not None else asyncio.sleep
+    jitter_rng = rng if rng is not None else random.Random()
+    last_error: Optional[BaseException] = None
+    for index in range(policy.attempts):
+        try:
+            return await attempt()
+        except retry_on as exc:
+            last_error = exc
+            if index + 1 >= policy.attempts:
+                break
+            delay = policy.delay(index, jitter_rng.random())
+            if on_retry is not None:
+                on_retry(index, exc, delay)
+            await do_sleep(delay)
+    assert last_error is not None
+    raise RetryExhaustedError(policy.attempts, last_error)
+
+
+__all__ = ["RetryExhaustedError", "retry_async"]

@@ -1,0 +1,91 @@
+"""The growing dataset behind the ingestion service.
+
+:class:`LiveDataset` turns the immutable :class:`~repro.core.dataset.
+FOTDataset` substrate into an appendable store without giving up any of
+its invariants: every accepted batch is kept as a pending view and
+merged into the base column store in amortized batches
+(:meth:`FOTDataset.concat_many`), so per-append cost is O(batch) and a
+compaction costs one column copy — never O(store) per batch.
+
+Readers always get a coherent snapshot: :meth:`current` compacts
+pending appends (if any) and returns an immutable view; concurrent
+analyses over an older snapshot stay valid because views never mutate.
+On compaction the superseded snapshot's cache entries are evicted
+through :meth:`~repro.engine.cache.AnalysisCache.invalidate`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.dataset import FOTDataset
+from repro.engine.cache import AnalysisCache
+
+
+class TransientAppendError(RuntimeError):
+    """A retryable failure on the append path (fault injection and
+    genuinely transient conditions; the router retries these under its
+    backoff policy)."""
+
+
+class LiveDataset:
+    """An append-only dataset with amortized compaction."""
+
+    def __init__(
+        self,
+        base: Optional[FOTDataset] = None,
+        *,
+        compact_threshold_tickets: int = 65_536,
+        cache: Optional[AnalysisCache] = None,
+    ):
+        if compact_threshold_tickets < 1:
+            raise ValueError("compact_threshold_tickets must be >= 1")
+        self._base = base if base is not None else FOTDataset()
+        self._pending: List[FOTDataset] = []
+        self._pending_tickets = 0
+        self._threshold = compact_threshold_tickets
+        self._cache = cache
+        self.compactions = 0
+        self.appends = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._base) + self._pending_tickets
+
+    @property
+    def pending_tickets(self) -> int:
+        return self._pending_tickets
+
+    @property
+    def pending_batches(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def append(self, batch: FOTDataset) -> int:
+        """Stage an accepted batch; compacts once the pending volume
+        crosses the threshold.  Returns the new total ticket count."""
+        if len(batch):
+            self._pending.append(batch)
+            self._pending_tickets += len(batch)
+            self.appends += 1
+            if self._pending_tickets >= self._threshold:
+                self._compact()
+        return len(self)
+
+    def _compact(self) -> None:
+        old = self._base
+        self._base = FOTDataset.concat_many([self._base, *self._pending])
+        self._pending = []
+        self._pending_tickets = 0
+        self.compactions += 1
+        if self._cache is not None and len(old):
+            self._cache.invalidate(old)
+
+    def current(self) -> FOTDataset:
+        """An immutable snapshot containing every accepted ticket."""
+        if self._pending:
+            self._compact()
+        return self._base
+
+
+__all__ = ["LiveDataset", "TransientAppendError"]

@@ -1,0 +1,43 @@
+"""Shared helpers for the ``repro.serve`` test modules."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def make_records(n: int, start: int = 0) -> List[Dict[str, object]]:
+    """``n`` schema-valid raw ticket records with distinct ids."""
+    records: List[Dict[str, object]] = []
+    for i in range(start, start + n):
+        records.append(
+            {
+                "fot_id": i,
+                "host_id": i % 10,
+                "hostname": f"host{i % 10:04d}",
+                "host_idc": f"dc{i % 3:02d}",
+                "error_device": "hdd",
+                "error_type": "SMARTFail",
+                "error_time": 1000.0 + 60.0 * i,
+                "error_position": i % 30,
+                "category": "d_fixing",
+                "source": "syslog",
+                "product_line": "line01",
+                "deployed_at": 500.0,
+                "op_time": 2000.0 + 60.0 * i,
+            }
+        )
+    return records
+
+
+def make_dirty_records(n: int, start: int = 0) -> List[Dict[str, object]]:
+    """Records whose ``error_time`` is unparseable — every one is
+    quarantined by the lenient loader."""
+    records = make_records(n, start)
+    for record in records:
+        record["error_time"] = "not-a-time"
+    return records
+
+
+async def instant_sleep(_seconds: float) -> None:
+    """A no-op async sleep for deterministic retry tests."""
+    return None

@@ -1,0 +1,142 @@
+"""Stream-level chaos corruptors (``repro.robustness.chaos``)."""
+
+import json
+
+import pytest
+
+from repro.robustness.chaos import (
+    STREAM_CORRUPTION_KINDS,
+    CorruptionSpec,
+    corrupt_records,
+    corrupt_stream,
+    default_stream_specs,
+)
+from tests.serve_util import make_records
+
+SEED = 20170626
+
+
+def make_batches(n_batches=10, batch_size=40):
+    return [
+        make_records(batch_size, start=i * batch_size)
+        for i in range(n_batches)
+    ]
+
+
+def ids_of(batches):
+    return [[r["fot_id"] for r in b] for b in batches]
+
+
+class TestRegistry:
+    def test_default_specs_cover_all_stream_kinds(self):
+        kinds = tuple(s.kind for s in default_stream_specs(0.1))
+        assert kinds == STREAM_CORRUPTION_KINDS
+
+    def test_stream_kind_rejected_by_record_api(self):
+        with pytest.raises(ValueError, match="stream-level"):
+            corrupt_records(
+                make_records(5), [CorruptionSpec("truncate_batch", 0.1)], SEED
+            )
+
+    def test_record_kind_rejected_by_stream_api(self):
+        with pytest.raises(ValueError, match="record-level"):
+            corrupt_stream(
+                make_batches(2), [CorruptionSpec("duplicates", 0.1)], SEED
+            )
+
+    def test_spec_accepts_both_registries(self):
+        assert CorruptionSpec("duplicate_batch", 0.2).kind == "duplicate_batch"
+        assert CorruptionSpec("duplicates", 0.2).kind == "duplicates"
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        batches = make_batches()
+        out_a, man_a = corrupt_stream(batches, default_stream_specs(0.3), SEED)
+        out_b, man_b = corrupt_stream(batches, default_stream_specs(0.3), SEED)
+        assert ids_of(out_a) == ids_of(out_b)
+        assert man_a.to_dict() == man_b.to_dict()
+
+    def test_different_seed_differs(self):
+        batches = make_batches()
+        out_a, _ = corrupt_stream(batches, default_stream_specs(0.3), SEED)
+        out_b, _ = corrupt_stream(batches, default_stream_specs(0.3), SEED + 1)
+        assert ids_of(out_a) != ids_of(out_b)
+
+    def test_input_batches_never_mutated(self):
+        batches = make_batches(4)
+        before = ids_of(batches)
+        corrupt_stream(batches, default_stream_specs(0.5), SEED)
+        assert ids_of(batches) == before
+
+    def test_manifest_is_json_clean(self):
+        _, manifest = corrupt_stream(
+            make_batches(), default_stream_specs(0.3), SEED
+        )
+        parsed = json.loads(manifest.to_json())
+        assert parsed["seed"] == SEED
+        assert [e["kind"] for e in parsed["injections"]] == list(
+            STREAM_CORRUPTION_KINDS
+        )
+
+
+class TestKinds:
+    def test_truncate_batch_drops_tails(self):
+        out, manifest = corrupt_stream(
+            make_batches(), [CorruptionSpec("truncate_batch", 0.3)], SEED
+        )
+        entry = manifest.injections[0]
+        assert entry["n_affected"] >= 1
+        assert manifest.n_output < manifest.n_input
+        dropped = sum(b["n_dropped"] for b in entry["batches"])
+        assert manifest.n_input - manifest.n_output == dropped
+
+    def test_duplicate_batch_redelivers(self):
+        batches = make_batches()
+        out, manifest = corrupt_stream(
+            batches, [CorruptionSpec("duplicate_batch", 0.2)], SEED
+        )
+        entry = manifest.injections[0]
+        assert len(out) == len(batches) + entry["n_affected"]
+        for i in entry["batches"]:
+            assert [r["fot_id"] for r in batches[i]] in ids_of(out)
+
+    def test_reorder_preserves_every_ticket(self):
+        batches = make_batches()
+        out, manifest = corrupt_stream(
+            batches, [CorruptionSpec("reorder_stream", 0.5)], SEED
+        )
+        assert manifest.injections[0]["n_affected"] >= 1
+        assert ids_of(out) != ids_of(batches)
+        flat = sorted(i for b in ids_of(out) for i in b)
+        assert flat == sorted(i for b in ids_of(batches) for i in b)
+
+    def test_reorder_delivers_out_of_order_timestamps(self):
+        batches = make_batches()
+        out, manifest = corrupt_stream(
+            batches, [CorruptionSpec("reorder_stream", 0.5)], SEED
+        )
+        firsts = [b[0]["error_time"] for b in out if b]
+        assert firsts != sorted(firsts)
+
+    def test_oversize_batch_grows_with_fresh_ids(self):
+        out, manifest = corrupt_stream(
+            make_batches(), [CorruptionSpec("oversize_batch", 0.2)], SEED
+        )
+        entry = manifest.injections[0]
+        assert entry["n_affected"] >= 1
+        grown = entry["batches"][0]
+        batch = out[grown["batch"]]
+        assert len(batch) == grown["n_records"] >= 2 * 40
+        ids = [r["fot_id"] for r in batch]
+        assert len(set(ids)) == len(ids)  # tiled copies got fresh ids
+
+    def test_slow_batch_is_metadata_only(self):
+        batches = make_batches()
+        out, manifest = corrupt_stream(
+            batches, [CorruptionSpec("slow_batch", 0.3)], SEED
+        )
+        assert ids_of(out) == ids_of(batches)
+        delays = manifest.injections[0]["delays"]
+        assert len(delays) == manifest.injections[0]["n_affected"] >= 1
+        assert all(d > 0 for d in delays.values())

@@ -1,0 +1,81 @@
+"""CLI integration for the ingestion service subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve.deadletter import (
+    REASON_DIRTY,
+    REASON_OVERSIZED,
+    DeadLetterStore,
+)
+from tests.serve_util import make_dirty_records, make_records
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8437
+        assert args.queue_watermark == 64
+        assert args.max_batch_tickets == 10_000
+        assert args.duration is None
+
+    def test_replay_deadletter_defaults(self):
+        args = build_parser().parse_args(["replay-deadletter", "dl"])
+        assert args.directory == "dl"
+        assert args.out is None and not args.drop
+
+
+class TestServeCommand:
+    def test_short_run_prints_summary(self, capsys):
+        code = main([
+            "serve", "--port", "0", "--duration", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+        assert "ingest summary:" in out
+        assert "tickets_accepted: 0" in out
+
+
+class TestReplayDeadLetter:
+    @pytest.fixture()
+    def parked(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        # Recoverable: parked as oversized under an old, lower cap.
+        store.put("dc-a", make_records(60), REASON_OVERSIZED, "cap was 50")
+        # Still poison: every record is dirt.
+        store.put("dc-b", make_dirty_records(20), REASON_DIRTY, "all dirty")
+        return tmp_path / "dl"
+
+    def test_empty_store_is_clean_exit(self, tmp_path, capsys):
+        assert main(["replay-deadletter", str(tmp_path)]) == 0
+        assert "no dead-lettered batches" in capsys.readouterr().out
+
+    def test_mixed_replay_exits_1_and_reports(self, parked, capsys):
+        code = main(["replay-deadletter", str(parked)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "recovered 60 tickets" in out
+        assert "still poison" in out
+        assert "1 still poison" in out
+
+    def test_recovered_tickets_written_to_out(self, parked, tmp_path, capsys):
+        out_file = tmp_path / "recovered.jsonl"
+        main(["replay-deadletter", str(parked), "--out", str(out_file)])
+        lines = [
+            json.loads(line)
+            for line in out_file.read_text().splitlines() if line
+        ]
+        assert len(lines) == 60
+
+    def test_drop_removes_only_replayed_batches(self, parked, capsys):
+        main(["replay-deadletter", str(parked), "--drop"])
+        remaining = DeadLetterStore(parked).entries()
+        assert [e.reason for e in remaining] == [REASON_DIRTY]
+
+    def test_all_recovered_exits_0(self, tmp_path, capsys):
+        store = DeadLetterStore(tmp_path / "dl")
+        store.put("dc-a", make_records(10), REASON_OVERSIZED)
+        assert main(["replay-deadletter", str(tmp_path / "dl")]) == 0

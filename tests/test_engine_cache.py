@@ -151,6 +151,137 @@ class TestDiskTier:
         assert pickle.loads(pickle.dumps(result)).shares == again.shares
 
 
+class TestDiskTierHardening:
+    """Disk reads racing concurrent writers/clearers must degrade to a
+    retry (once) or a miss — never an exception."""
+
+    def test_persistently_torn_entry_is_an_error_then_miss(
+        self, small_dataset, tmp_path
+    ):
+        calls = []
+        fn = _calls(calls)
+        warm = AnalysisCache(directory=tmp_path)
+        warm.call(fn, small_dataset)
+        entry = next(tmp_path.glob("*/*.pkl"))
+        payload = entry.read_bytes()
+        key = warm.key_for(fn, small_dataset, {})
+
+        cold = AnalysisCache(directory=tmp_path)
+        entry.write_bytes(b"")  # torn mid-replace: EOFError on load
+        hit, _ = cold._disk_get(key)
+        assert not hit  # both attempts saw the torn entry
+        assert cold.stats.errors == 1
+
+        entry.write_bytes(payload)  # the writer finished
+        hit, value = cold._disk_get(key)
+        assert hit and value == len(small_dataset)
+
+    def test_torn_read_is_retried_once(self, small_dataset, tmp_path, monkeypatch):
+        import pickle as _pickle
+
+        calls = []
+        fn = _calls(calls)
+        warm = AnalysisCache(directory=tmp_path)
+        warm.call(fn, small_dataset)
+        key = warm.key_for(fn, small_dataset, {})
+
+        cold = AnalysisCache(directory=tmp_path)
+        real_load = _pickle.load
+        state = {"first": True}
+
+        def torn_once(handle):
+            # First attempt races the writer's os.replace; the retry
+            # sees the completed entry.
+            if state["first"]:
+                state["first"] = False
+                raise EOFError("torn read")
+            return real_load(handle)
+
+        monkeypatch.setattr("repro.engine.cache.pickle.load", torn_once)
+        hit, value = cold._disk_get(key)
+        assert hit and value == len(small_dataset)
+        assert cold.stats.errors == 0
+
+    def test_missing_entry_is_plain_miss_not_error(
+        self, small_dataset, tmp_path
+    ):
+        cache = AnalysisCache(directory=tmp_path)
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, small_dataset)
+        assert cache.stats.errors == 0
+        assert cache.stats.misses == 1
+
+    def test_clear_tolerates_vanishing_directory(self, small_dataset, tmp_path):
+        import shutil
+
+        calls = []
+        fn = _calls(calls)
+        cache = AnalysisCache(directory=tmp_path / "cache")
+        cache.call(fn, small_dataset)
+        shutil.rmtree(tmp_path / "cache")
+        cache.clear(disk=True)  # must not raise
+        assert len(cache) == 0
+
+    def test_clear_tolerates_vanishing_entries(self, small_dataset, tmp_path):
+        calls = []
+        fn = _calls(calls)
+        cache = AnalysisCache(directory=tmp_path)
+        cache.call(fn, small_dataset)
+        # A concurrent clearer already removed the file.
+        for path in tmp_path.glob("*/*.pkl"):
+            path.unlink()
+        cache.clear(disk=True)
+
+
+class TestInvalidate:
+    def test_invalidate_evicts_a_views_entries(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, small_dataset, tag="a")
+        cache.call(fn, small_dataset, tag="b")
+        assert len(cache) == 2
+        removed = cache.invalidate(small_dataset)
+        assert removed == 2
+        assert len(cache) == 0
+        cache.call(fn, small_dataset, tag="a")  # recomputes
+        assert len(calls) == 3
+
+    def test_invalidate_is_scoped_to_one_view(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        half = small_dataset[: len(small_dataset) // 2]
+        cache.call(fn, small_dataset)
+        cache.call(fn, half)
+        cache.invalidate(half)
+        assert len(cache) == 1
+        cache.call(fn, small_dataset)  # untouched view still hits
+        assert len(calls) == 2
+
+    def test_invalidate_by_raw_fingerprint(self, small_dataset):
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, small_dataset)
+        assert cache.invalidate(small_dataset.fingerprint()) == 1
+        assert len(cache) == 0
+
+    def test_invalidate_removes_disk_entries(self, small_dataset, tmp_path):
+        cache = AnalysisCache(directory=tmp_path)
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, small_dataset)
+        assert list(tmp_path.glob("*/*.pkl"))
+        cache.invalidate(small_dataset)
+        assert not list(tmp_path.glob("*/*.pkl"))
+
+    def test_invalidate_unknown_view_is_a_noop(self, small_dataset):
+        cache = AnalysisCache()
+        assert cache.invalidate(small_dataset) == 0
+
+
 class TestFingerprints:
     def test_view_fingerprint_changes_with_rows(self, small_dataset):
         full = small_dataset.fingerprint()

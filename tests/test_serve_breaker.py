@@ -1,0 +1,157 @@
+"""Circuit breaker state machine (``repro.serve.breaker``)."""
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerOpenError,
+    CircuitBreaker,
+)
+from repro.serve.config import BreakerConfig
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, reset=10.0, probes=1, clock=None):
+    return CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            reset_seconds=reset,
+            half_open_probes=probes,
+        ),
+        clock=clock if clock is not None else FakeClock(),
+    )
+
+
+class TestClosedToOpen:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_retry_after_counts_down(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.retry_after() == 10.0
+        clock.advance(4.0)
+        assert breaker.retry_after() == 6.0
+        assert breaker.retry_after() >= 0.0
+
+
+class TestHalfOpen:
+    def test_half_open_after_reset_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=5.0, probes=2, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # probe budget spent
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_clock(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN  # the window restarted
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+
+    def test_release_probe_returns_the_slot(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=5.0, probes=1, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        # The probe batch bounced off queue backpressure and never ran:
+        # without the release the breaker would deadlock half-open.
+        breaker.release_probe()
+        assert breaker.allow()
+
+
+class TestObservability:
+    def test_transitions_are_recorded(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, reset_seconds=5.0),
+            clock=clock,
+            on_transition=seen.append,
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        _ = breaker.state
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [OPEN, HALF_OPEN, CLOSED]
+        assert [state for state, _ in breaker.transitions] == seen
+
+    def test_error_carries_source_and_retry_after(self):
+        err = BreakerOpenError("dc-a", 12.25)
+        assert err.source == "dc-a"
+        assert err.retry_after == 12.25
+        assert "dc-a" in str(err)
+
+
+class TestBoard:
+    def test_sources_are_isolated(self):
+        board = BreakerBoard(
+            BreakerConfig(failure_threshold=1, reset_seconds=5.0),
+            clock=FakeClock(),
+        )
+        board.get("dc-a").record_failure()
+        assert board.states() == {"dc-a": OPEN}
+        assert board.get("dc-b").state == CLOSED
+        assert board.get("dc-a") is board.get("dc-a")

@@ -1,0 +1,102 @@
+"""Dead-letter store: atomic parking, manifest, replay."""
+
+import json
+
+import pytest
+
+from repro.serve.deadletter import (
+    REASON_APPEND_FAILED,
+    REASON_DIRTY,
+    REASON_OVERSIZED,
+    DeadLetterEntry,
+    DeadLetterStore,
+    MemoryDeadLetterStore,
+)
+from tests.serve_util import make_records
+
+
+class TestDurableStore:
+    def test_put_then_load_roundtrip(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        records = make_records(8)
+        entry = store.put("dc-a", records, REASON_DIRTY, "too dirty")
+        assert entry.seq == 1
+        assert entry.n_records == 8
+        assert store.load_records(entry) == records
+
+    def test_batch_file_exists_before_manifest_names_it(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        entry = store.put("dc-a", make_records(3), REASON_OVERSIZED)
+        batch_path = (tmp_path / "dl") / entry.file
+        assert batch_path.exists()
+        manifest = json.loads(
+            ((tmp_path / "dl") / "manifest.json").read_text()
+        )
+        assert manifest["entries"][0]["file"] == entry.file
+
+    def test_sequences_increment_across_instances(self, tmp_path):
+        directory = tmp_path / "dl"
+        DeadLetterStore(directory).put("a", make_records(1), REASON_DIRTY)
+        entry = DeadLetterStore(directory).put(
+            "b", make_records(1), REASON_DIRTY
+        )
+        assert entry.seq == 2
+        assert len(DeadLetterStore(directory)) == 2
+
+    def test_counts_by_reason(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        store.put("a", make_records(1), REASON_DIRTY)
+        store.put("a", make_records(1), REASON_DIRTY)
+        store.put("b", make_records(1), REASON_APPEND_FAILED)
+        assert store.counts_by_reason() == {
+            REASON_DIRTY: 2, REASON_APPEND_FAILED: 1,
+        }
+
+    def test_iter_batches_replays_in_order(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        store.put("a", make_records(2), REASON_DIRTY)
+        store.put("b", make_records(3, start=2), REASON_DIRTY)
+        replayed = [
+            (entry.seq, len(records))
+            for entry, records in store.iter_batches()
+        ]
+        assert replayed == [(1, 2), (2, 3)]
+
+    def test_remove_drops_entry_and_file(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        entry = store.put("a", make_records(2), REASON_DIRTY)
+        store.remove(entry.seq)
+        assert len(store) == 0
+        assert not ((tmp_path / "dl") / entry.file).exists()
+        with pytest.raises(KeyError):
+            store.remove(entry.seq)
+
+    def test_unserializable_records_still_parked(self, tmp_path):
+        store = DeadLetterStore(tmp_path / "dl")
+        entry = store.put(
+            "a", [{"fot_id": object()}, make_records(1)[0]], REASON_DIRTY
+        )
+        recovered = store.load_records(entry)
+        assert len(recovered) == 2
+        assert "__unserializable__" in recovered[0]
+
+    def test_entry_dict_roundtrip(self):
+        entry = DeadLetterEntry(
+            seq=3, file="batches/dl-000003.jsonl", source="dc-a",
+            reason=REASON_DIRTY, error="x", n_records=5, parked_at=12.0,
+        )
+        assert DeadLetterEntry.from_dict(entry.to_dict()) == entry
+
+
+class TestMemoryStore:
+    def test_same_surface_without_files(self):
+        store = MemoryDeadLetterStore()
+        records = make_records(4)
+        entry = store.put("dc-a", records, REASON_DIRTY, "dirt")
+        assert len(store) == 1
+        assert store.load_records(entry) == records
+        assert store.counts_by_reason() == {REASON_DIRTY: 1}
+        store.remove(entry.seq)
+        assert len(store) == 0
+        with pytest.raises(KeyError):
+            store.remove(entry.seq)

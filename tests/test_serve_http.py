@@ -1,0 +1,185 @@
+"""The asyncio HTTP surface (``repro.serve.http``)."""
+
+import asyncio
+import json
+
+from repro.serve.config import BreakerConfig, ServeConfig
+from repro.serve.http import MAX_BODY_BYTES, ServeApp, serve_http
+from repro.serve.router import IngestRouter
+from tests.serve_util import make_records
+
+
+def make_app(**config_overrides):
+    defaults = dict(
+        queue_high_watermark=4,
+        max_batch_tickets=100,
+        breaker=BreakerConfig(failure_threshold=1, reset_seconds=60.0),
+    )
+    defaults.update(config_overrides)
+    return ServeApp(IngestRouter(ServeConfig(**defaults)))
+
+
+def body_of(records):
+    return json.dumps(records).encode("utf-8")
+
+
+class TestRouting:
+    def test_ingest_accepted(self):
+        app = make_app()
+        status, payload, _ = app.handle(
+            "POST", "/ingest/dc-a", body_of(make_records(5))
+        )
+        assert status == 202
+        assert payload["seq"] == 1 and payload["n_records"] == 5
+
+    def test_bad_json_is_400(self):
+        app = make_app()
+        status, payload, _ = app.handle("POST", "/ingest/dc-a", b"not json")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_non_array_body_is_400(self):
+        status, payload, _ = make_app().handle(
+            "POST", "/ingest/dc-a", b'{"a": 1}'
+        )
+        assert status == 400
+        assert "array" in payload["error"]
+
+    def test_empty_source_is_400(self):
+        status, _, _ = make_app().handle("POST", "/ingest/", b"[]")
+        assert status == 400
+
+    def test_unknown_route_is_404(self):
+        status, _, _ = make_app().handle("GET", "/nope", b"")
+        assert status == 404
+
+    def test_wrong_method_is_405(self):
+        app = make_app()
+        assert app.handle("GET", "/ingest/dc-a", b"")[0] == 405
+        assert app.handle("POST", "/healthz", b"")[0] == 405
+        assert app.handle("POST", "/metrics", b"")[0] == 405
+
+
+class TestBackpressureStatuses:
+    def test_queue_full_is_429_with_retry_after(self):
+        app = make_app(queue_high_watermark=1)
+        app.handle("POST", "/ingest/dc-a", body_of(make_records(1)))
+        status, payload, headers = app.handle(
+            "POST", "/ingest/dc-a", body_of(make_records(1))
+        )
+        assert status == 429
+        assert "Retry-After" in headers
+        assert payload["queue_depth"] == 1
+
+    def test_open_breaker_is_503_with_retry_after(self):
+        app = make_app()
+        app.router.breakers.get("dc-a").record_failure()  # threshold 1
+        status, payload, headers = app.handle(
+            "POST", "/ingest/dc-a", body_of(make_records(1))
+        )
+        assert status == 503
+        assert payload["source"] == "dc-a"
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_healthz_degrades_to_503(self):
+        app = make_app()
+        assert app.handle("GET", "/healthz", b"")[0] == 200
+        app.router.breakers.get("dc-a").record_failure()
+        status, payload, _ = app.handle("GET", "/healthz", b"")
+        assert status == 503
+        assert payload["status"] == "degraded"
+
+    def test_metrics_document_shape(self):
+        app = make_app()
+        app.handle("POST", "/ingest/dc-a", body_of(make_records(3)))
+        status, payload, _ = app.handle("GET", "/metrics", b"")
+        assert status == 200
+        assert payload["counters"]["batches_submitted"] == 1
+        assert set(payload) >= {
+            "counters", "queue", "breakers", "live", "dead_letter", "cache",
+        }
+        json.dumps(payload)  # must be a JSON-clean document
+
+
+class TestWire:
+    """Full socket round-trips through ``serve_http``."""
+
+    @staticmethod
+    async def request(port, method, path, body=b"", extra_headers=""):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n{extra_headers}\r\n"
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        status = int(raw.split(b" ", 2)[1])
+        payload = json.loads(raw.split(b"\r\n\r\n", 1)[1])
+        return status, payload
+
+    def test_post_then_metrics_over_sockets(self):
+        async def scenario():
+            router = IngestRouter(ServeConfig(queue_high_watermark=8))
+            server = await serve_http(router, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            status, receipt = await self.request(
+                port, "POST", "/ingest/dc-a", body_of(make_records(7))
+            )
+            await router.drain()
+            m_status, metrics = await self.request(port, "GET", "/metrics")
+            server.close()
+            await server.wait_closed()
+            await router.stop(drain=False)
+            return status, receipt, m_status, metrics
+
+        status, receipt, m_status, metrics = asyncio.run(scenario())
+        assert status == 202 and receipt["n_records"] == 7
+        assert m_status == 200
+        assert metrics["counters"]["tickets_accepted"] == 7
+
+    def test_stalled_body_times_out_with_408(self):
+        async def scenario():
+            router = IngestRouter(
+                ServeConfig(request_read_timeout_seconds=0.1)
+            )
+            server = await serve_http(router, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # Promise a body, never send it (slow-loris).
+            writer.write(
+                b"POST /ingest/dc-a HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 100\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await router.stop(drain=False)
+            return raw
+
+        raw = asyncio.run(scenario())
+        assert b"408" in raw.split(b"\r\n", 1)[0]
+
+    def test_oversized_content_length_is_413(self):
+        async def scenario():
+            router = IngestRouter(ServeConfig())
+            server = await serve_http(router, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"POST /ingest/dc-a HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await router.stop(drain=False)
+            return raw
+
+        raw = asyncio.run(scenario())
+        assert b"413" in raw.split(b"\r\n", 1)[0]

@@ -1,0 +1,156 @@
+"""Failed-batch observability (modeled on the sentinel-router
+observability suite): every failure mode must be countable in the
+metrics surface, inspectable in the dead-letter store, and replayable —
+no grepping logs, no silent loss."""
+
+import asyncio
+import dataclasses
+import random
+
+from repro.serve.config import BreakerConfig, RetryPolicy, ServeConfig
+from repro.serve.router import IngestRouter
+from repro.serve.store import TransientAppendError
+from tests.serve_util import instant_sleep, make_dirty_records, make_records
+
+
+def make_router(**overrides):
+    defaults = dict(
+        queue_high_watermark=16,
+        max_batch_tickets=100,
+        retry=RetryPolicy(attempts=2, base_seconds=0.0, max_seconds=0.0),
+        breaker=BreakerConfig(failure_threshold=2, reset_seconds=60.0),
+    )
+    defaults.update(overrides)
+    return IngestRouter(
+        ServeConfig(**defaults), sleep=instant_sleep,
+        retry_rng=random.Random(7),
+    )
+
+
+def drive(router, submissions):
+    async def scenario():
+        router.start()
+        for source, records in submissions:
+            await router.submit_wait(source, records)
+            await router.drain()
+        await router.stop(drain=False)
+
+    asyncio.run(scenario())
+
+
+class TestFailedBatchMetricsTracking:
+    def test_failed_batch_count_incremented(self):
+        router = make_router()
+        drive(router, [("dc-a", ["junk"] * 10)])
+        counters = router.metrics_snapshot()["counters"]
+        assert counters["batches_dead_lettered"] == 1
+        assert counters["tickets_dead_lettered"] == 10
+
+    def test_multiple_failed_batches_accumulate(self):
+        router = make_router(
+            breaker=BreakerConfig(failure_threshold=10, reset_seconds=60.0)
+        )
+        drive(router, [
+            ("dc-a", ["junk"] * 5),
+            ("dc-b", make_records(200)),          # oversized (cap 100)
+            ("dc-c", make_dirty_records(20)),     # all-dirty poison
+        ])
+        counters = router.metrics_snapshot()["counters"]
+        assert counters["batches_dead_lettered"] == 3
+        assert counters["tickets_dead_lettered"] == 225
+        assert counters["tickets_accounted"] == 225
+
+    def test_failures_do_not_leak_into_accepted_counters(self):
+        router = make_router()
+        drive(router, [
+            ("dc-good", make_records(30)),
+            ("dc-bad", ["junk"] * 10),
+        ])
+        counters = router.metrics_snapshot()["counters"]
+        assert counters["tickets_accepted"] == 30
+        assert counters["tickets_dead_lettered"] == 10
+        assert counters["tickets_accounted"] == counters["tickets_submitted"]
+
+
+class TestDeadLetterInspection:
+    def test_failed_batches_are_countable_and_inspectable(self):
+        router = make_router(
+            breaker=BreakerConfig(failure_threshold=10, reset_seconds=60.0)
+        )
+        drive(router, [
+            ("dc-a", ["junk"] * 5),
+            ("dc-b", make_records(200)),
+        ])
+        dl = router.metrics_snapshot()["dead_letter"]
+        assert dl["count"] == 2
+        assert dl["by_reason"] == {"structural": 1, "oversized": 1}
+        entries = router.dead_letters.entries()
+        assert {e.source for e in entries} == {"dc-a", "dc-b"}
+        # The parked payload is byte-recoverable for replay.
+        parked = router.dead_letters.load_records(entries[1])
+        assert len(parked) == 200
+
+    def test_failed_batches_are_replayable(self):
+        router = make_router(max_batch_tickets=100)
+
+        async def scenario():
+            router.start()
+            await router.submit_wait("dc-a", make_records(200))
+            await router.drain()
+            assert len(router.dead_letters) == 1
+            # Operator response: raise the cap, replay the parked batch.
+            router.config = dataclasses.replace(
+                router.config, max_batch_tickets=500
+            )
+            replayed = await router.replay_dead_letters()
+            await router.drain()
+            await router.stop(drain=False)
+            return replayed
+
+        assert asyncio.run(scenario()) == 1
+        counters = router.metrics_snapshot()["counters"]
+        assert counters["batches_replayed"] == 1
+        assert len(router.live.current()) == 200
+        assert len(router.dead_letters) == 0
+
+    def test_retry_and_append_failure_counters(self):
+        def always_fault(batch):
+            raise TransientAppendError("disk wedged")
+
+        router = make_router()
+        router._hooks.append_fault = always_fault
+        drive(router, [("dc-a", make_records(10))])
+        counters = router.metrics_snapshot()["counters"]
+        assert counters["retries"] == 1      # attempts=2 -> one retry
+        assert counters["append_failures"] == 1
+        assert counters["tickets_dead_lettered"] == 10
+
+
+class TestBreakerObservability:
+    def test_breaker_transitions_visible_in_metrics(self):
+        router = make_router()
+        drive(router, [
+            ("dc-bad", ["junk"] * 5),
+            ("dc-bad", ["junk"] * 5),
+        ])
+        snapshot = router.metrics_snapshot()
+        assert snapshot["counters"]["breaker_opened"] == 1
+        assert snapshot["breakers"] == {"dc-bad": "open"}
+
+    def test_health_degrades_while_breaker_open(self):
+        router = make_router()
+        assert router.health()["status"] == "ok"
+        drive(router, [
+            ("dc-bad", ["junk"] * 5),
+            ("dc-bad", ["junk"] * 5),
+        ])
+        health = router.health()
+        assert health["status"] == "degraded"
+        assert any("dc-bad" in reason for reason in health["reasons"])
+
+    def test_queue_saturation_degrades_health(self):
+        router = make_router(queue_high_watermark=1)
+        router.submit("dc-a", make_records(1))  # no worker: stays queued
+        health = router.health()
+        assert health["status"] == "degraded"
+        assert any("watermark" in reason for reason in health["reasons"])

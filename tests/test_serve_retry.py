@@ -1,0 +1,114 @@
+"""Jittered-backoff retry loop (``repro.serve.retry``)."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.serve.config import RetryPolicy
+from repro.serve.retry import RetryExhaustedError, retry_async
+
+
+class Flaky:
+    """Fails ``n_failures`` times, then succeeds."""
+
+    def __init__(self, n_failures: int, error=RuntimeError("transient")):
+        self.n_failures = n_failures
+        self.error = error
+        self.calls = 0
+
+    async def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.error
+        return "ok"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def collecting_sleep(delays):
+    async def _sleep(seconds: float) -> None:
+        delays.append(seconds)
+    return _sleep
+
+
+class TestRetry:
+    def test_first_try_success_never_sleeps(self):
+        delays = []
+        fn = Flaky(0)
+        result = run(retry_async(
+            fn, RetryPolicy(attempts=3), sleep=collecting_sleep(delays)
+        ))
+        assert result == "ok"
+        assert fn.calls == 1 and delays == []
+
+    def test_transient_failures_then_success(self):
+        delays = []
+        fn = Flaky(2)
+        result = run(retry_async(
+            fn, RetryPolicy(attempts=3), sleep=collecting_sleep(delays),
+            rng=random.Random(7),
+        ))
+        assert result == "ok"
+        assert fn.calls == 3 and len(delays) == 2
+
+    def test_exhaustion_raises_with_last_error(self):
+        fn = Flaky(99, error=RuntimeError("still down"))
+        delays = []
+        with pytest.raises(RetryExhaustedError) as info:
+            run(retry_async(
+                fn, RetryPolicy(attempts=3), sleep=collecting_sleep(delays),
+            ))
+        assert fn.calls == 3
+        assert info.value.attempts == 3
+        assert "still down" in str(info.value.last_error)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        fn = Flaky(99, error=ValueError("not transient"))
+        with pytest.raises(ValueError):
+            run(retry_async(
+                fn, RetryPolicy(attempts=3), retry_on=(RuntimeError,),
+                sleep=collecting_sleep([]),
+            ))
+        assert fn.calls == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+        fn = Flaky(2)
+        run(retry_async(
+            fn, RetryPolicy(attempts=3), sleep=collecting_sleep([]),
+            on_retry=lambda i, exc, delay: seen.append((i, str(exc))),
+        ))
+        assert [i for i, _ in seen] == [0, 1]
+
+
+class TestBackoffShape:
+    def test_delays_grow_exponentially_within_jitter(self):
+        policy = RetryPolicy(
+            attempts=5, base_seconds=0.1, max_seconds=10.0, jitter=0.5
+        )
+        delays = []
+        with pytest.raises(RetryExhaustedError):
+            run(retry_async(
+                Flaky(99), policy, sleep=collecting_sleep(delays),
+                rng=random.Random(3),
+            ))
+        assert len(delays) == 4
+        for i, delay in enumerate(delays):
+            nominal = min(0.1 * 2 ** i, 10.0)
+            assert nominal * 0.5 <= delay <= nominal * 1.5
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(
+            attempts=12, base_seconds=1.0, max_seconds=3.0, jitter=0.0
+        )
+        assert policy.delay(10, 0.5) == 3.0
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = RetryPolicy(
+            attempts=3, base_seconds=0.2, max_seconds=5.0, jitter=0.0
+        )
+        assert policy.delay(0, 0.0) == pytest.approx(0.2)
+        assert policy.delay(2, 1.0) == pytest.approx(0.8)

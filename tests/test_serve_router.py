@@ -1,0 +1,241 @@
+"""End-to-end ingestion router behavior (``repro.serve.router``)."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.serve.breaker import BreakerOpenError
+from repro.serve.config import BreakerConfig, RetryPolicy, ServeConfig
+from repro.serve.deadletter import (
+    REASON_APPEND_FAILED,
+    REASON_OVERSIZED,
+    REASON_TIMEOUT,
+)
+from repro.serve.queue import QueueFullError
+from repro.serve.router import IngestRouter
+from repro.serve.store import TransientAppendError
+from tests.serve_util import instant_sleep, make_dirty_records, make_records
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        queue_high_watermark=8,
+        max_batch_tickets=100,
+        retry=RetryPolicy(attempts=3, base_seconds=0.0, max_seconds=0.0),
+        breaker=BreakerConfig(failure_threshold=2, reset_seconds=60.0),
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def run_router(config, submissions, **router_kwargs):
+    """Start a router, submit ``(source, records)`` pairs, drain, stop."""
+    router = IngestRouter(
+        config, sleep=instant_sleep, retry_rng=random.Random(7),
+        **router_kwargs,
+    )
+    receipts = []
+    errors = []
+
+    async def scenario():
+        router.start()
+        for source, records in submissions:
+            try:
+                receipts.append(await router.submit_wait(source, records))
+            except BreakerOpenError as exc:
+                errors.append(exc)
+        await router.stop(drain=True)
+
+    asyncio.run(scenario())
+    return router, receipts, errors
+
+
+class TestHappyPath:
+    def test_accepted_batches_land_in_live_dataset(self):
+        batches = [("dc-a", make_records(50, start=i * 50)) for i in range(4)]
+        router, receipts, errors = run_router(fast_config(), batches)
+        assert not errors
+        assert [r.seq for r in receipts] == [1, 2, 3, 4]
+        assert len(router.live.current()) == 200
+        assert router.metrics.tickets_accepted == 200
+        assert router.metrics.tickets_accounted == 200
+
+    def test_quarantined_minority_is_counted_not_lost(self):
+        records = make_records(40) + make_dirty_records(10, start=40)
+        router, _, _ = run_router(fast_config(), [("dc-a", records)])
+        assert len(router.live.current()) == 40
+        assert router.metrics.tickets_quarantined == 10
+        assert router.metrics.tickets_accounted == 50
+
+    def test_refresh_runs_every_n_accepted_batches(self):
+        config = fast_config(refresh_interval_batches=2)
+        batches = [("dc-a", make_records(20, start=i * 20)) for i in range(5)]
+        router, _, _ = run_router(config, batches)
+        assert router.metrics.refreshes == 2
+        assert router.last_refresh_seconds is not None
+
+
+class TestBackpressure:
+    def test_queue_full_raises_and_counts(self):
+        config = fast_config(queue_high_watermark=2)
+        router = IngestRouter(config)
+        # No worker running: the queue only fills.
+        router.submit("dc-a", make_records(1))
+        router.submit("dc-a", make_records(1))
+        with pytest.raises(QueueFullError) as info:
+            router.submit("dc-a", make_records(1))
+        assert info.value.capacity == 2
+        assert router.metrics.batches_rejected_queue_full == 1
+        # The rejected batch never entered the ticket ledger.
+        assert router.metrics.tickets_submitted == 2
+
+    def test_submit_wait_rides_out_backpressure(self):
+        config = fast_config(queue_high_watermark=1)
+        batches = [("dc-a", make_records(10, start=i * 10)) for i in range(6)]
+        router, receipts, _ = run_router(config, batches)
+        assert len(receipts) == 6
+        assert router.metrics.tickets_accepted == 60
+
+
+class TestPoisonAndBreaker:
+    def test_oversized_batch_is_dead_lettered_whole(self):
+        router, _, _ = run_router(
+            fast_config(max_batch_tickets=10), [("dc-a", make_records(30))]
+        )
+        assert len(router.live.current()) == 0
+        assert router.metrics.tickets_dead_lettered == 30
+        entries = router.dead_letters.entries()
+        assert [e.reason for e in entries] == [REASON_OVERSIZED]
+        assert router.metrics.tickets_accounted == 30
+
+    def test_poison_source_opens_breaker(self):
+        router = IngestRouter(fast_config(), sleep=instant_sleep)
+
+        async def scenario():
+            router.start()
+            # Drain after each poison batch so its failure is recorded
+            # before the next submission consults the breaker.
+            for _ in range(2):
+                await router.submit_wait("dc-bad", ["junk"] * 20)
+                await router.drain()
+            with pytest.raises(BreakerOpenError):
+                router.submit("dc-bad", ["junk"] * 20)
+            await router.stop(drain=False)
+
+        asyncio.run(scenario())
+        assert router.metrics.batches_rejected_breaker == 1
+        assert router.breakers.get("dc-bad").state == "open"
+
+    def test_breaker_isolation_between_sources(self):
+        submissions = [
+            ("dc-bad", ["junk"] * 20),
+            ("dc-bad", ["junk"] * 20),
+            ("dc-good", make_records(10)),
+        ]
+        router, _, errors = run_router(fast_config(), submissions)
+        assert not errors  # dc-good is unaffected
+        assert router.metrics.tickets_accepted == 10
+
+
+class TestAppendResilience:
+    def test_transient_faults_are_retried_to_success(self):
+        fails = {"left": 2}
+
+        def fault(batch):
+            if fails["left"] > 0:
+                fails["left"] -= 1
+                raise TransientAppendError("store busy")
+
+        router, _, _ = run_router(
+            fast_config(), [("dc-a", make_records(10))], append_fault=fault
+        )
+        assert router.metrics.retries == 2
+        assert router.metrics.append_failures == 0
+        assert router.metrics.tickets_accepted == 10
+
+    def test_exhausted_retries_dead_letter_the_batch(self):
+        def always_fault(batch):
+            raise TransientAppendError("store down")
+
+        router, _, _ = run_router(
+            fast_config(), [("dc-a", make_records(10))],
+            append_fault=always_fault,
+        )
+        assert router.metrics.append_failures == 1
+        assert router.metrics.tickets_dead_lettered == 10
+        assert [e.reason for e in router.dead_letters.entries()] == [
+            REASON_APPEND_FAILED
+        ]
+        assert router.metrics.tickets_accounted == 10
+
+    def test_validation_timeout_dead_letters(self):
+        config = fast_config(validate_timeout_seconds=0.05)
+        stall = {"on": True}
+
+        def slow_fault(batch):  # pragma: no cover - not reached
+            raise AssertionError("append should not run")
+
+        router = IngestRouter(config, append_fault=slow_fault)
+
+        def stalling_validate(batch):
+            if stall["on"]:
+                import time as _time
+                _time.sleep(0.5)
+            raise AssertionError("validation never completes in time")
+
+        router._validate = stalling_validate
+
+        async def scenario():
+            router.start()
+            router.submit("dc-a", make_records(5))
+            await router.drain()
+            await router.stop(drain=False)
+
+        asyncio.run(scenario())
+        assert router.metrics.batch_timeouts == 1
+        assert [e.reason for e in router.dead_letters.entries()] == [
+            REASON_TIMEOUT
+        ]
+        assert router.metrics.tickets_accounted == 5
+
+
+class TestReplay:
+    def test_replay_recovers_after_fault_clears(self):
+        def always_fault(batch):
+            raise TransientAppendError("store down")
+
+        config = fast_config()
+        router = IngestRouter(
+            config, sleep=instant_sleep, retry_rng=random.Random(7),
+            append_fault=always_fault,
+        )
+
+        async def scenario():
+            router.start()
+            await router.submit_wait("dc-a", make_records(10))
+            await router.drain()
+            assert len(router.dead_letters) == 1
+            router._hooks.append_fault = None  # the outage ends
+            replayed = await router.replay_dead_letters()
+            await router.drain()
+            await router.stop(drain=False)
+            return replayed
+
+        replayed = asyncio.run(scenario())
+        assert replayed == 1
+        assert router.metrics.batches_replayed == 1
+        assert len(router.dead_letters) == 0
+        assert len(router.live.current()) == 10
+
+
+class TestCompaction:
+    def test_threshold_compaction_and_cache_invalidation(self):
+        config = fast_config(
+            compact_threshold_tickets=50, refresh_interval_batches=1
+        )
+        batches = [("dc-a", make_records(20, start=i * 20)) for i in range(5)]
+        router, _, _ = run_router(config, batches)
+        assert router.live.compactions >= 2
+        assert router.metrics.compactions == router.live.compactions
+        assert len(router.live.current()) == 100
