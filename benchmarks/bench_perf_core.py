@@ -11,7 +11,17 @@ before/after numbers of the columnar refactor.
 Stages timed per tier:
 
 * ``load``    — parse raw record dicts into a dataset
-  (:func:`repro.core.io.parse_records`, strict mode).
+  (:func:`repro.core.io.parse_records`, strict mode).  The ``10m``
+  tier is columnar-only: its ``load`` stage is the
+  :func:`repro.core.storage.load_columnar` mmap open instead (building
+  ten million record dicts would benchmark the Python allocator, not
+  the substrate), and the tier entry carries ``"format": "columnar"``
+  plus the measured ``load_fraction`` of the tier total.
+* ``save_columnar`` / ``load_columnar`` — round-trip through the
+  binary columnar store: a cold :func:`~repro.core.storage.
+  save_columnar` into a scratch directory, then the best-of mmap
+  re-open of the tier's cached fixture.  ``load_speedup`` records
+  text-parse time over columnar-open time.
 * ``filter``  — the subset chain every analysis opens with:
   ``failures()``, ``of_component``, ``of_idc``, ``of_product_line``,
   ``of_source``, ``between``, ``where(mask)``, ``with_op_time``.
@@ -19,6 +29,10 @@ Stages timed per tier:
 * ``report``  — the full headline-report pipeline the CLI runs:
   overview breakdowns, TBF fits, ``summary()``, repeat deduplication
   and the :class:`~repro.robustness.quality.DataQuality` assessment.
+
+Columnar fixtures are cached under ``.bench_fixtures/`` keyed by the
+storage schema fingerprint, so re-runs (and the CI cache) skip the
+synthesis+save; a schema change rolls the key and rebuilds them.
 
 With ``--engine``, each tier additionally exercises the
 :mod:`repro.engine` execution layer against the *real* simulation
@@ -48,6 +62,13 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_perf_core.py \
         --tiers 50k --engine --engine-scale 0.02 --jobs 2 --no-update \
         --check-equivalence --min-cache-speedup 5.0
+
+    # CI storage gate: columnar open must beat text parse 20x, and the
+    # 10M tier must spend <1% of its wall time in load
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --tiers 50k --no-update --min-load-speedup 20.0
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --tiers 10m --repeats 1 --no-update --max-load-fraction 0.01
 """
 
 from __future__ import annotations
@@ -56,7 +77,9 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -65,13 +88,33 @@ import numpy as np
 
 from repro.analysis import overview, spatial, tbf
 from repro.core import io as core_io
-from repro.core.types import ComponentClass, DetectionSource, FOTCategory
+from repro.core import storage as core_storage
+from repro.core.columns import (
+    ACTION_CODE,
+    CATEGORY_CODE,
+    ColumnStore,
+    SOURCE_CODE,
+)
+from repro.core.dataset import FOTDataset
+from repro.core.types import (
+    ComponentClass,
+    DetectionSource,
+    FOTCategory,
+    OperatorAction,
+)
 from repro.robustness.quality import DataQuality, InsufficientDataError
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO_ROOT / "BENCH_perf.json"
+FIXTURES_DIR = REPO_ROOT / ".bench_fixtures"
 
-TIERS: Dict[str, int] = {"50k": 50_000, "290k": 290_000, "1m": 1_000_000}
+TIERS: Dict[str, int] = {
+    "50k": 50_000, "290k": 290_000, "1m": 1_000_000, "10m": 10_000_000,
+}
+
+#: Tiers too large to route through raw record dicts: synthesized
+#: column-at-a-time and benchmarked through the columnar store only.
+COLUMNAR_TIERS = frozenset({"10m"})
 
 #: ``--engine`` scenario scale per tier: the paper scenario producing
 #: roughly the tier's ticket volume through the real simulation.
@@ -137,6 +180,101 @@ def synth_records(n: int, seed: int = 20170626) -> List[Dict[str, object]]:
             }
         )
     return records
+
+
+def synth_store(n: int, seed: int = 20170626) -> FOTDataset:
+    """Column-at-a-time twin of :func:`synth_records`: the same draws
+    and derivations, but materialized directly as typed numpy columns
+    and adopted zero-copy into a :class:`ColumnStore`.  This is the
+    only tractable way to stand up the 10M tier — ten million record
+    dicts would spend minutes (and gigabytes) on Python objects that
+    the columnar path never needs."""
+    rng = np.random.default_rng(seed)
+    n_hosts = max(50, n // 10)
+    host_ids = rng.integers(0, n_hosts, size=n)
+    times = np.sort(rng.uniform(0.0, _HORIZON, size=n))
+    cats = rng.choice(len(_CATEGORIES), size=n, p=np.asarray(_CATEGORY_P))
+    comps = rng.choice(len(_COMPONENTS), size=n, p=np.asarray(_COMPONENT_P))
+    sources = rng.choice(len(_SOURCES), size=n, p=np.asarray(_SOURCE_P))
+    types = rng.integers(0, len(_ERROR_TYPES), size=n)
+    slots = rng.integers(0, 12, size=n)
+    deployed = np.minimum(rng.uniform(0.0, 0.5 * _HORIZON, size=n), times)
+    rt = rng.lognormal(mean=11.0, sigma=1.2, size=n)
+
+    closed = cats != _CATEGORIES.index("d_error")
+    cat_code = np.asarray(
+        [CATEGORY_CODE[FOTCategory(v)] for v in _CATEGORIES], dtype=np.int8
+    )
+    src_code = np.asarray(
+        [SOURCE_CODE[DetectionSource(v)] for v in _SOURCES], dtype=np.int8
+    )
+    # synth_records leaves d_error tickets action-less ("" -> None -> -1).
+    act_code = np.asarray(
+        [
+            ACTION_CODE[OperatorAction.REPAIR_ORDER],
+            -1,
+            ACTION_CODE[OperatorAction.MARK_FALSE_ALARM],
+        ],
+        dtype=np.int8,
+    )
+
+    hostname_pool = np.asarray(
+        [f"host{h:07d}" for h in range(n_hosts)], dtype=object
+    )
+    detail_pool = np.asarray([f"dev{s}" for s in range(12)], dtype=object)
+    details = np.empty(n, dtype=object)
+    details[:] = [{}] * n  # parse_records yields an empty detail dict
+
+    arrays: Dict[str, np.ndarray] = {
+        "fot_ids": np.arange(n, dtype=np.int64),
+        "host_ids": host_ids.astype(np.int64),
+        "error_times": times,
+        "op_times": np.where(closed, times + rt, np.nan),
+        "deployed_ats": deployed,
+        "positions": (host_ids % 40).astype(np.int32),
+        "device_slots": slots.astype(np.int32),
+        "category_codes": cat_code[cats],
+        "component_codes": comps.astype(np.int8),  # enum-order draw
+        "source_codes": src_code[sources],
+        "action_codes": act_code[cats],
+        "idc_codes": (host_ids % 24).astype(np.int32),
+        "product_line_codes": (host_ids % 15).astype(np.int32),
+        "error_type_codes": types.astype(np.int32),
+        "operator_id_codes": np.where(
+            closed, np.arange(n) % 37, -1
+        ).astype(np.int32),
+        "hostnames": hostname_pool[host_ids],
+        "error_details": detail_pool[slots],
+        "details": details,
+    }
+    tables = {
+        "idc": tuple(f"dc{i:02d}" for i in range(24)),
+        "product_line": tuple(f"line{i:02d}" for i in range(15)),
+        "error_type": tuple(_ERROR_TYPES),
+        "operator_id": tuple(f"op{i:02d}" for i in range(37)),
+    }
+    for arr in arrays.values():
+        arr.setflags(write=False)
+    return FOTDataset.from_store(ColumnStore.adopt_buffers(n, arrays, tables))
+
+
+def columnar_fixture(name: str, n: int, dataset=None) -> Path:
+    """The tier's cached on-disk columnar fixture, built on first use.
+
+    The file name embeds the storage schema fingerprint, so a format or
+    schema change silently rolls over to a fresh fixture instead of
+    tripping the loader's version check."""
+    schema = core_storage.schema_fingerprint()[:12]
+    path = FIXTURES_DIR / f"{name}-{schema}.fourcol"
+    if core_storage.is_columnar(path):
+        return path
+    if dataset is None:
+        print(f"[{name}] synthesizing {n} tickets column-wise ...", flush=True)
+        dataset = synth_store(n)
+    FIXTURES_DIR.mkdir(exist_ok=True)
+    print(f"[{name}] writing columnar fixture {path.name} ...", flush=True)
+    core_storage.save_columnar(dataset, path)
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -208,12 +346,65 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
 
 
 def run_tier(name: str, n: int, repeats: int) -> Dict[str, object]:
+    if name in COLUMNAR_TIERS:
+        return run_columnar_tier(name, n, repeats)
+
     print(f"[{name}] generating {n} synthetic records ...", flush=True)
     records = synth_records(n)
 
     t0 = time.perf_counter()
     dataset = _stage_load(records)
     load_s = time.perf_counter() - t0
+
+    # Columnar round trip: a cold save into a scratch directory, then
+    # the best-of mmap re-open of the cached fixture.
+    scratch = Path(tempfile.mkdtemp(prefix="bench-colsave-")) / "t.fourcol"
+    try:
+        t0 = time.perf_counter()
+        core_storage.save_columnar(dataset, scratch)
+        save_col_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(scratch.parent, ignore_errors=True)
+    fixture = columnar_fixture(name, n, dataset)
+    load_col_s = _best_of(lambda: core_storage.load_columnar(fixture), repeats)
+
+    stages = {
+        "load": load_s,
+        "save_columnar": save_col_s,
+        "load_columnar": load_col_s,
+        "filter": _best_of(lambda: _stage_filter(dataset), repeats),
+        "group": _best_of(lambda: _stage_group(dataset), repeats),
+        "report": _best_of(lambda: _stage_report(dataset), repeats),
+    }
+    # The headline total keeps its pre-columnar meaning: the text
+    # load -> filter -> group -> report pipeline.
+    stages["total"] = sum(
+        stages[k] for k in ("load", "filter", "group", "report")
+    )
+    print(
+        f"[{name}] load {stages['load']:.3f}s  filter {stages['filter']:.3f}s  "
+        f"group {stages['group']:.3f}s  report {stages['report']:.3f}s  "
+        f"colsave {save_col_s:.3f}s  colload {load_col_s:.4f}s "
+        f"(x{load_s / max(load_col_s, 1e-9):.0f} vs text)",
+        flush=True,
+    )
+    return {
+        "tickets": n,
+        "stages": stages,
+        "load_speedup": load_s / max(load_col_s, 1e-9),
+    }
+
+
+def run_columnar_tier(name: str, n: int, repeats: int) -> Dict[str, object]:
+    """A tier served straight from the columnar store: ``load`` is the
+    mmap open of the cached fixture, everything downstream runs against
+    the memory-mapped (lazily decoded) dataset."""
+    fixture = columnar_fixture(name, n)
+
+    t0 = time.perf_counter()
+    dataset = core_storage.load_columnar(fixture)
+    load_s = time.perf_counter() - t0
+    assert len(dataset) == n, f"fixture holds {len(dataset)} rows, wanted {n}"
 
     stages = {
         "load": load_s,
@@ -222,12 +413,19 @@ def run_tier(name: str, n: int, repeats: int) -> Dict[str, object]:
         "report": _best_of(lambda: _stage_report(dataset), repeats),
     }
     stages["total"] = sum(v for k, v in stages.items() if k != "total")
+    fraction = stages["load"] / stages["total"]
     print(
-        f"[{name}] load {stages['load']:.3f}s  filter {stages['filter']:.3f}s  "
-        f"group {stages['group']:.3f}s  report {stages['report']:.3f}s",
+        f"[{name}] load {stages['load']:.4f}s (mmap, {fraction:.3%} of tier)  "
+        f"filter {stages['filter']:.3f}s  group {stages['group']:.3f}s  "
+        f"report {stages['report']:.3f}s",
         flush=True,
     )
-    return {"tickets": n, "stages": stages}
+    return {
+        "tickets": n,
+        "format": "columnar",
+        "stages": stages,
+        "load_fraction": fraction,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -356,6 +554,42 @@ def check_engine(results, *, check_equivalence, min_cache_speedup,
     return 1 if failures else 0
 
 
+def check_storage(results, *, min_load_speedup, max_load_fraction) -> int:
+    """Gate on the columnar-store promises; returns non-zero on failure.
+
+    * ``min_load_speedup`` — every text tier's columnar mmap open must
+      beat its text parse by at least this factor;
+    * ``max_load_fraction`` — every columnar-format tier must spend at
+      most this fraction of its total wall time in ``load``.
+    """
+    failures = 0
+    for name, tier in results.items():
+        if min_load_speedup and "load_speedup" in tier:
+            ratio = tier["load_speedup"]
+            if ratio < min_load_speedup:
+                print(
+                    f"FAIL [{name}]: columnar load speedup x{ratio:.1f} "
+                    f"below the required x{min_load_speedup:.1f}"
+                )
+                failures += 1
+            else:
+                print(f"OK [{name}]: columnar load speedup x{ratio:.1f}")
+        if max_load_fraction and "load_fraction" in tier:
+            fraction = tier["load_fraction"]
+            if fraction > max_load_fraction:
+                print(
+                    f"FAIL [{name}]: load is {fraction:.3%} of the tier "
+                    f"total, above the allowed {max_load_fraction:.2%}"
+                )
+                failures += 1
+            else:
+                print(
+                    f"OK [{name}]: load is {fraction:.3%} of the tier total "
+                    f"(limit {max_load_fraction:.2%})"
+                )
+    return 1 if failures else 0
+
+
 # ----------------------------------------------------------------------
 # JSON trajectory file
 # ----------------------------------------------------------------------
@@ -452,6 +686,16 @@ def main(argv=None) -> int:
         help="exit 1 when sharded generation is not at least X times faster "
         "than serial (skipped on machines with fewer cores than --jobs)",
     )
+    parser.add_argument(
+        "--min-load-speedup", type=float, default=None, metavar="X",
+        help="exit 1 when the columnar mmap open is not at least X times "
+        "faster than the text parse (text tiers only)",
+    )
+    parser.add_argument(
+        "--max-load-fraction", type=float, default=None, metavar="F",
+        help="exit 1 when a columnar-format tier spends more than fraction "
+        "F of its total wall time in the load stage",
+    )
     args = parser.parse_args(argv)
 
     tier_names = [t.strip() for t in args.tiers.split(",") if t.strip()]
@@ -462,8 +706,20 @@ def main(argv=None) -> int:
     json_path = Path(args.json_path)
     results = {name: run_tier(name, TIERS[name], args.repeats) for name in tier_names}
 
+    if args.min_load_speedup or args.max_load_fraction:
+        code = check_storage(
+            results,
+            min_load_speedup=args.min_load_speedup,
+            max_load_fraction=args.max_load_fraction,
+        )
+        if code:
+            return code
+
     if args.engine:
         for name in tier_names:
+            if name in COLUMNAR_TIERS:
+                print(f"[{name}] engine stages skipped: columnar-only tier")
+                continue
             results[name]["engine"] = run_engine_tier(
                 name, args.jobs, args.repeats, args.engine_scale
             )

@@ -56,6 +56,7 @@ from repro.simulation.trace import generate_trace
 
 __all__ = [
     "load",
+    "convert",
     "audit",
     "simulate",
     "analyze",
@@ -76,17 +77,48 @@ __all__ = [
 
 
 def load(path: Union[str, Path], *, lenient: bool = False) -> FOTDataset:
-    """Load a ticket dump (.jsonl or .csv).
+    """Load a ticket dump (.jsonl, .csv, or a .fourcol columnar dir).
 
     Strict by default: malformed lines raise ``ValueError``.  With
     ``lenient=True`` malformed lines are quarantined and the salvageable
     remainder is returned — use :func:`audit` when you also need the
     quarantine report.
+
+    Columnar datasets (written by :func:`convert` or ``fouryears
+    convert``) open by memory-mapping in near-constant time; prefer them
+    for anything you load more than once.
     """
     if not lenient:
         return _io.load(path)
     dataset, _ = _io.load(path, strict=False)
     return dataset
+
+
+def convert(
+    src: Union[str, Path],
+    dst: Union[str, Path],
+    *,
+    lenient: bool = False,
+) -> QuarantineReport:
+    """Convert a ticket dump between formats (csv/jsonl ⇄ columnar).
+
+    The common direction is text → ``.fourcol``: pay the parse once,
+    then every subsequent :func:`load` of ``dst`` memory-maps instead of
+    parsing.  Converting columnar → text exports for interchange.
+
+    With ``lenient=True`` malformed source lines are quarantined rather
+    than fatal; the returned :class:`~repro.robustness.quarantine.
+    QuarantineReport` says what was skipped or repaired (it is empty for
+    a strict conversion).
+    """
+    if lenient:
+        dataset, report = _io.load(src, strict=False)
+    else:
+        dataset = _io.load(src)
+        report = QuarantineReport(str(src))
+        report.n_loaded = len(dataset)
+    _io.save(dataset, dst)
+    return report
 
 
 @dataclass(frozen=True)

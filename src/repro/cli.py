@@ -4,8 +4,9 @@ Core subcommands::
 
     fouryears simulate --scale 0.05 --seed 7 --jobs 4 --out trace.jsonl \
         --inventory inventory.csv
-    fouryears analyze trace.jsonl --inventory inventory.csv --cache
-    fouryears report trace.jsonl          # compact headline summary
+    fouryears convert trace.jsonl trace.fourcol   # parse once, mmap forever
+    fouryears analyze trace.fourcol --inventory inventory.csv --cache
+    fouryears report trace.fourcol        # compact headline summary
     fouryears validate dump.csv           # quarantine + data-quality audit
     fouryears corrupt trace.jsonl --out dirty.jsonl --seed 7
     fouryears serve --port 8437 --dead-letter-dir dead_letters/
@@ -14,6 +15,11 @@ Core subcommands::
 (``repro`` is installed as an alias of ``fouryears``; ``generate`` is a
 deprecated alias of ``simulate``.)
 
+``convert`` re-encodes a dump between the text interchange formats
+(csv/jsonl, optionally gzipped) and the native binary columnar format
+(a ``.fourcol`` directory) that loads by memory-mapping in
+near-constant time — convert once, then point every other subcommand
+at the ``.fourcol`` path.
 ``analyze`` prints every paper table/figure the dataset supports,
 skipping (with a notice) any analysis the data cannot sustain;
 ``report`` prints only the headline numbers.  ``validate`` loads a dump
@@ -87,6 +93,25 @@ def _load_dataset(path: str, lenient: bool):
         print(audited.quarantine.format())
         print()
     return audited.dataset
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    try:
+        report = api.convert(args.src, args.dst, lenient=args.lenient)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if not args.lenient:
+            print(
+                "hint: pass --lenient to quarantine malformed lines and "
+                "convert the rest",
+                file=sys.stderr,
+            )
+        return 2
+    if not report.clean:
+        print(report.format())
+        print()
+    print(f"wrote {report.n_loaded} tickets to {args.dst}")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -416,6 +441,17 @@ def build_parser() -> argparse.ArgumentParser:
         gen.add_argument("--inventory", default=None)
         _add_jobs_flag(gen)
         gen.set_defaults(func=_cmd_simulate)
+
+    conv = sub.add_parser(
+        "convert",
+        help="convert a ticket dump between formats (csv/jsonl ⇄ "
+        "columnar .fourcol); converting to columnar pays the text parse "
+        "once so later loads memory-map in near-constant time",
+    )
+    conv.add_argument("src", help="source dump (.jsonl[.gz] / .csv[.gz] / .fourcol)")
+    conv.add_argument("dst", help="destination (format chosen by suffix)")
+    _add_lenient_flag(conv)
+    conv.set_defaults(func=_cmd_convert)
 
     rep = sub.add_parser("report", help="print headline statistics")
     rep.add_argument("dataset")

@@ -4,8 +4,10 @@ This package defines the ticket schema described in Section II of the
 paper: component classes, failure categories, the failure-type registry
 (Table III), the :class:`~repro.core.ticket.FOT` record itself, the
 :class:`~repro.core.dataset.FOTDataset` container every analysis consumes,
-and CSV/JSONL serialization so real ticket dumps can be loaded in place of
-the synthetic trace.
+and serialization so real ticket dumps can be loaded in place of the
+synthetic trace: CSV/JSONL for interchange plus the native binary
+columnar format (:mod:`repro.core.storage`) that opens by memory-mapping
+instead of parsing.
 """
 
 from repro.core.types import ComponentClass, FOTCategory, DetectionSource

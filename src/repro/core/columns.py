@@ -27,7 +27,7 @@ tests can assert that subsetting and grouping allocate no tickets.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -101,12 +101,20 @@ def compute_fingerprint(store: "ColumnStore") -> str:
     """Content hash of a store, computed *fresh* (never memoized).
 
     Covers every numeric/code column (raw bytes), the interned string
-    tables and the plain string columns.  The free-form ``details`` dict
-    column is deliberately **excluded**: it carries generator
-    ground-truth (tags, chain ids) that no analysis reads, and hashing
-    arbitrary dicts stably is not worth the cost.  Two stores with
-    identical ticket content therefore share a fingerprint even when
-    built independently.
+    columns (as values, see below) and the plain string columns.  The
+    free-form ``details`` dict column is deliberately **excluded**: it
+    carries generator ground-truth (tags, chain ids) that no analysis
+    reads, and hashing arbitrary dicts stably is not worth the cost.
+
+    Interned columns are hashed *canonically*: the raw codes are an
+    artifact of construction order (the generator, the JSONL loader and
+    a shard concatenation all intern in different orders), so each codes
+    column is remapped through the sorted set of its **used** values and
+    hashed together with those values.  Two stores holding identical
+    ticket content therefore share a fingerprint however they were
+    built — which is what lets :class:`~repro.engine.cache.
+    AnalysisCache` entries transfer between a text-loaded dataset and
+    its columnar conversion.
 
     :meth:`ColumnStore.fingerprint` memoizes this; the runtime sanitizer
     (:mod:`repro.devtools.sanitize`) calls it directly to detect
@@ -119,16 +127,28 @@ def compute_fingerprint(store: "ColumnStore") -> str:
             continue
         column = store.column(name)
         digest.update(name.encode())
-        if column.dtype == object:
+        if name in _INTERNED:
+            table = store.table(_INTERNED[name][0])
+            used = sorted({table[int(code)] for code in np.unique(column) if code >= 0})
+            value_rank = {value: rank for rank, value in enumerate(used)}
+            lookup = np.asarray(
+                [value_rank.get(value, -1) for value in table], dtype=np.int64
+            )
+            if lookup.size:
+                remapped = np.where(
+                    column < 0, np.int64(-1), lookup[np.maximum(column, 0)]
+                ).astype(np.int64)
+            else:
+                remapped = column.astype(np.int64)
+            digest.update(remapped.tobytes())
+            digest.update("\x1f".join(used).encode())
+        elif column.dtype == object:
             for value in column:
                 digest.update(str(value).encode())
                 digest.update(b"\x1e")
         else:
             digest.update(str(column.dtype).encode())
             digest.update(np.ascontiguousarray(column).tobytes())
-    for table_name in TABLE_NAMES:
-        digest.update(table_name.encode())
-        digest.update("\x1f".join(store.table(table_name)).encode())
     return digest.hexdigest()
 
 
@@ -147,6 +167,7 @@ class ColumnStore:
         "_table_index",
         "_ticket_cache",
         "_fingerprint",
+        "_deferred",
     )
 
     def __init__(
@@ -156,6 +177,8 @@ class ColumnStore:
         tables: Dict[str, Tuple[str, ...]],
         table_index: Dict[str, Dict[str, int]],
         ticket_cache: np.ndarray,
+        deferred: Optional[Dict[str, Callable[[], np.ndarray]]] = None,
+        fingerprint: Optional[str] = None,
     ) -> None:
         self.n = int(n)
         self.n_materialized = 0
@@ -163,7 +186,10 @@ class ColumnStore:
         self._tables = tables
         self._table_index = table_index
         self._ticket_cache = ticket_cache
-        self._fingerprint: Optional[str] = None
+        self._fingerprint: Optional[str] = fingerprint
+        self._deferred: Dict[str, Callable[[], np.ndarray]] = (
+            {} if deferred is None else dict(deferred)
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -208,6 +234,57 @@ class ColumnStore:
             tables=dict(tables),
             table_index=table_index,
             ticket_cache=np.empty(n, dtype=object),
+        )
+
+    @classmethod
+    def adopt_buffers(
+        cls,
+        n: int,
+        arrays: Dict[str, np.ndarray],
+        tables: Dict[str, Tuple[str, ...]],
+        *,
+        deferred: Optional[Dict[str, Callable[[], np.ndarray]]] = None,
+        fingerprint: Optional[str] = None,
+    ) -> "ColumnStore":
+        """Zero-copy construction from externally-owned buffers — the
+        :mod:`repro.core.storage` mmap load path.
+
+        Unlike :meth:`from_columns` this never copies ``arrays`` (they
+        may be ``np.memmap`` views into on-disk blobs) and accepts
+        ``deferred`` thunks for columns that are expensive to
+        materialize (the per-ticket object columns): a thunk runs once,
+        on first :meth:`column` access, so opening a dataset stays
+        near-constant in its size.  ``fingerprint`` pre-seeds the
+        content-hash memo from a trusted source (the storage manifest),
+        so warm :class:`~repro.engine.cache.AnalysisCache` lookups never
+        re-hash column bytes; it must equal what
+        :func:`compute_fingerprint` would return for these columns.
+        """
+        deferred = {} if deferred is None else dict(deferred)
+        missing = set(COLUMN_NAMES) - set(arrays) - set(deferred)
+        if missing:
+            raise ValueError(
+                f"ColumnStore.adopt_buffers missing columns: {sorted(missing)}"
+            )
+        for name, arr in arrays.items():
+            if arr.shape != (n,):
+                raise ValueError(
+                    f"ColumnStore.adopt_buffers: column {name!r} has shape "
+                    f"{arr.shape}, expected ({n},)"
+                )
+            arr.setflags(write=False)
+        table_index = {
+            name: {value: i for i, value in enumerate(table)}
+            for name, table in tables.items()
+        }
+        return cls(
+            n=n,
+            arrays=dict(arrays),
+            tables=dict(tables),
+            table_index=table_index,
+            ticket_cache=np.empty(n, dtype=object),
+            deferred=deferred,
+            fingerprint=fingerprint,
         )
 
     @classmethod
@@ -273,10 +350,22 @@ class ColumnStore:
     # ------------------------------------------------------------------
     def column(self, name: str) -> np.ndarray:
         """The full-length column ``name``, building it from the ticket
-        cache on first access when the store was wrapped around tickets."""
+        cache (ticket-wrapped stores) or a deferred thunk (adopted
+        buffers) on first access."""
         arr = self._arrays.get(name)
         if arr is None:
-            arr = self._build_column(name)
+            thunk = self._deferred.pop(name, None) if self._deferred else None
+            if thunk is not None:
+                arr = thunk()
+                if arr.shape != (self.n,):
+                    raise ValueError(
+                        f"deferred column {name!r} materialized shape "
+                        f"{arr.shape}, expected ({self.n},)"
+                    )
+                arr.setflags(write=False)
+                self._arrays[name] = arr
+            else:
+                arr = self._build_column(name)
         return arr
 
     def _build_column(self, name: str) -> np.ndarray:

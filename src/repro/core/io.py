@@ -1,12 +1,19 @@
 """Serialization of FOT datasets.
 
-Two interchange formats are supported, each optionally gzip-compressed
-(``.jsonl.gz`` / ``.csv.gz``):
+Three formats are supported.  The text formats, each optionally
+gzip-compressed (``.jsonl.gz`` / ``.csv.gz``), are for interchange:
 
 * **JSONL** — one JSON object per ticket, lossless (including the
   free-form ``detail`` dict).
 * **CSV** — flat columns matching the paper's field names, for loading a
   real ticket dump into the toolkit; the ``detail`` dict is dropped.
+
+The native format is **columnar** (a ``.fourcol`` directory, see
+:mod:`repro.core.storage`): content-addressed binary column blobs under
+a versioned manifest, loaded by memory-mapping rather than parsing, so
+open time is near-constant in dataset size.  ``fouryears convert``
+turns a text dump into a columnar dataset once; analyses then open it
+in milliseconds.
 
 Loading has two modes:
 
@@ -54,6 +61,16 @@ from typing import (
 
 from repro.core.columns import ColumnBuilder
 from repro.core.dataset import FOTDataset
+from repro.core.storage import (
+    COLUMNAR_SUFFIX,
+    StorageError,
+    StorageFormatError,
+    StorageIntegrityError,
+    StorageVersionError,
+    is_columnar,
+    load_columnar,
+    save_columnar,
+)
 from repro.core.ticket import FOT
 from repro.core.types import (
     ComponentClass,
@@ -90,7 +107,7 @@ OPTIONAL_CSV_FIELDS = frozenset(
     ["error_detail", "device_slot", "action", "operator_id", "op_time"]
 )
 
-SUPPORTED_SUFFIXES = (".jsonl", ".csv", ".jsonl.gz", ".csv.gz")
+SUPPORTED_SUFFIXES = (".jsonl", ".csv", ".jsonl.gz", ".csv.gz", COLUMNAR_SUFFIX)
 
 
 class LoadResult(NamedTuple):
@@ -457,13 +474,16 @@ def parse_records(
 # suffix dispatch and (de)compression
 # ----------------------------------------------------------------------
 def _format_of(path: Path) -> str:
-    """The logical format (``.jsonl`` / ``.csv``) behind a path,
-    looking through a trailing ``.gz``."""
+    """The logical format (``.jsonl`` / ``.csv`` / ``.fourcol``) behind
+    a path, looking through a trailing ``.gz``.  A directory that holds
+    a columnar manifest counts as columnar regardless of its name."""
     suffixes = path.suffixes
     if suffixes and suffixes[-1] == ".gz":
         base = suffixes[-2] if len(suffixes) >= 2 else ""
     else:
         base = suffixes[-1] if suffixes else ""
+    if base == COLUMNAR_SUFFIX or is_columnar(path):
+        return COLUMNAR_SUFFIX
     if base in (".jsonl", ".csv"):
         return base
     hint = " (did you mean '.jsonl'?)" if base == ".json" else ""
@@ -640,9 +660,13 @@ def load_csv(
 # dispatch
 # ----------------------------------------------------------------------
 def save(dataset: FOTDataset, path: Union[str, Path]) -> None:
-    """Dispatch on file suffix (``.jsonl[.gz]`` / ``.csv[.gz]``)."""
+    """Dispatch on file suffix (``.jsonl[.gz]`` / ``.csv[.gz]`` /
+    ``.fourcol``)."""
     path = Path(path)
-    if _format_of(path) == ".jsonl":
+    fmt = _format_of(path)
+    if fmt == COLUMNAR_SUFFIX:
+        save_columnar(dataset, path)
+    elif fmt == ".jsonl":
         save_jsonl(dataset, path)
     else:
         save_csv(dataset, path)
@@ -659,9 +683,24 @@ def load(path: Union[str, Path], *, strict: Literal[False]) -> LoadResult: ...
 def load(
     path: Union[str, Path], *, strict: bool = True
 ) -> Union[FOTDataset, LoadResult]:
-    """Dispatch on file suffix (``.jsonl[.gz]`` / ``.csv[.gz]``)."""
+    """Dispatch on file suffix (``.jsonl[.gz]`` / ``.csv[.gz]`` /
+    ``.fourcol``).
+
+    Columnar datasets are validated structurally at write time, so
+    ``strict=False`` simply returns an empty quarantine report alongside
+    the dataset — a corrupt columnar file raises a typed
+    :class:`~repro.core.storage.StorageError` in either mode.
+    """
     path = Path(path)
-    if _format_of(path) == ".jsonl":
+    fmt = _format_of(path)
+    if fmt == COLUMNAR_SUFFIX:
+        dataset = load_columnar(path)
+        if strict:
+            return dataset
+        report = QuarantineReport(str(path))
+        report.n_loaded = len(dataset)
+        return LoadResult(dataset, report)
+    if fmt == ".jsonl":
         return load_jsonl(path) if strict else load_jsonl(path, strict=False)
     return load_csv(path) if strict else load_csv(path, strict=False)
 
@@ -670,7 +709,13 @@ def write_records(records: Iterable[Dict[str, object]], path: Union[str, Path]) 
     """Write raw record dicts, dispatching on file suffix — the chaos
     harness's output path (records may be deliberately malformed)."""
     path = Path(path)
-    if _format_of(path) == ".jsonl":
+    fmt = _format_of(path)
+    if fmt == COLUMNAR_SUFFIX:
+        raise ValueError(
+            "raw record dicts cannot be written as columnar; parse them "
+            "into a dataset first, then save_columnar()"
+        )
+    if fmt == ".jsonl":
         write_jsonl_records(records, path)
     else:
         write_csv_records(records, path)
@@ -680,7 +725,15 @@ __all__ = [
     "CSV_FIELDS",
     "OPTIONAL_CSV_FIELDS",
     "SUPPORTED_SUFFIXES",
+    "COLUMNAR_SUFFIX",
     "LoadResult",
+    "StorageError",
+    "StorageFormatError",
+    "StorageVersionError",
+    "StorageIntegrityError",
+    "is_columnar",
+    "save_columnar",
+    "load_columnar",
     "CATEGORY_ALIASES",
     "COMPONENT_ALIASES",
     "SOURCE_ALIASES",

@@ -12,6 +12,15 @@ with new index arrays — so invalidation is automatic: a filter tweak
 changes the fingerprint and misses the cache, while re-running the same
 report on the same view hits every entry.
 
+Datasets opened from columnar storage (:mod:`repro.core.storage`) come
+with the store's content hash pre-seeded from the manifest — it was
+computed once at save time and rides along with the blobs — so a warm
+cache hit after ``load_columnar`` costs a manifest read plus a key
+hash, never a re-hash of column bytes.  The same hash is produced for
+the same ticket content regardless of format, so entries cached from a
+JSONL-loaded dataset are hits for its columnar conversion and vice
+versa.
+
 Two tiers:
 
 * an in-memory LRU (``max_entries``) for the common re-run-in-process

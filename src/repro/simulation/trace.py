@@ -29,6 +29,8 @@ once and cloned per shard with :meth:`OperatorModel.with_rng`.
 from __future__ import annotations
 
 import dataclasses
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -456,9 +458,20 @@ def generate_trace(config: ScenarioConfig, jobs: int = 1) -> SyntheticTrace:
 
     ``jobs > 1`` executes the per-DC shards on a process pool
     (:mod:`repro.engine.parallel`); the output is bit-identical to
-    ``jobs=1`` for the same scenario seed.
+    ``jobs=1`` for the same scenario seed.  On a single-CPU host the
+    pool only adds fork/IPC overhead, so ``jobs > 1`` falls back to
+    serial execution with a warning instead of running slower than
+    ``jobs=1``.
     """
     plan = plan_trace(config)
+    if jobs > 1 and (os.cpu_count() or 1) <= 1:
+        warnings.warn(
+            f"generate_trace(jobs={jobs}): single-CPU host, running "
+            "serially (a process pool would only add overhead)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        jobs = 1
     if jobs > 1:
         from repro.engine.parallel import run_shards
 

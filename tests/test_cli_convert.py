@@ -1,0 +1,84 @@
+"""``fouryears convert``: csv/jsonl ⇄ columnar, lenient passthrough."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import io as core_io
+
+
+@pytest.fixture(scope="module")
+def dumps(tmp_path_factory, tiny_dataset):
+    out = tmp_path_factory.mktemp("convert")
+    core_io.save(tiny_dataset, out / "t.jsonl")
+    core_io.save(tiny_dataset, out / "t.csv")
+    return out
+
+
+class TestConvert:
+    def test_jsonl_to_columnar_and_back(self, dumps, tiny_dataset, capsys):
+        col = dumps / "t.fourcol"
+        assert main(["convert", str(dumps / "t.jsonl"), str(col)]) == 0
+        assert f"wrote {len(tiny_dataset)} tickets" in capsys.readouterr().out
+        loaded = core_io.load(col)
+        assert loaded.fingerprint() == tiny_dataset.fingerprint()
+
+        back = dumps / "back.jsonl"
+        assert main(["convert", str(col), str(back)]) == 0
+        assert core_io.load(back).fingerprint() == tiny_dataset.fingerprint()
+
+    def test_csv_to_columnar(self, dumps, tiny_dataset):
+        col = dumps / "from_csv.fourcol"
+        assert main(["convert", str(dumps / "t.csv"), str(col)]) == 0
+        # CSV drops the detail dict, but the fingerprint ignores it, so
+        # the conversion is content-identical for every analyzed field.
+        assert core_io.load(col).fingerprint() == tiny_dataset.fingerprint()
+
+    def test_columnar_to_csv_export(self, dumps, tiny_dataset):
+        col = dumps / "export_src.fourcol"
+        core_io.save(tiny_dataset, col)
+        out = dumps / "export.csv"
+        assert main(["convert", str(col), str(out)]) == 0
+        assert len(core_io.load(out)) == len(tiny_dataset)
+
+    def test_gzip_source(self, dumps, tiny_dataset):
+        gz = dumps / "t.jsonl.gz"
+        core_io.save(tiny_dataset, gz)
+        col = dumps / "from_gz.fourcol"
+        assert main(["convert", str(gz), str(col)]) == 0
+        assert len(core_io.load(col)) == len(tiny_dataset)
+
+    def test_strict_rejects_malformed(self, tmp_path, tiny_dataset, capsys):
+        dirty = tmp_path / "dirty.jsonl"
+        core_io.save(tiny_dataset[:20], dirty)
+        lines = dirty.read_text().splitlines()
+        lines.insert(3, json.dumps({"garbage": True}))
+        dirty.write_text("\n".join(lines) + "\n")
+        assert main(["convert", str(dirty), str(tmp_path / "out.fourcol")]) == 2
+        err = capsys.readouterr().err
+        assert "--lenient" in err
+
+    def test_lenient_quarantines_and_converts_rest(
+        self, tmp_path, tiny_dataset, capsys
+    ):
+        dirty = tmp_path / "dirty.jsonl"
+        core_io.save(tiny_dataset[:20], dirty)
+        lines = dirty.read_text().splitlines()
+        lines.insert(3, json.dumps({"garbage": True}))
+        dirty.write_text("\n".join(lines) + "\n")
+        out = tmp_path / "out.fourcol"
+        assert main(["convert", str(dirty), str(out), "--lenient"]) == 0
+        printed = capsys.readouterr().out
+        assert "skipped 1 lines" in printed
+        assert len(core_io.load(out)) == 20
+
+    def test_unknown_destination_suffix(self, dumps, capsys):
+        assert main(["convert", str(dumps / "t.jsonl"), "out.parquet"]) == 2
+        assert "unsupported dataset format" in capsys.readouterr().err
+
+    def test_missing_source(self, tmp_path, capsys):
+        assert (
+            main(["convert", str(tmp_path / "no.jsonl"), str(tmp_path / "o.fourcol")])
+            == 2
+        )

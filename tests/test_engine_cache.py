@@ -293,3 +293,50 @@ class TestFingerprints:
         a = small_dataset[: len(small_dataset) // 2]
         b = small_dataset[: len(small_dataset) // 2]
         assert a.fingerprint() == b.fingerprint()
+
+
+class TestManifestSeededFingerprints:
+    """Columnar loads pre-seed the store fingerprint from the manifest,
+    so a warm cache hit after ``load_columnar`` never re-hashes column
+    bytes — the "no re-hash on open" contract."""
+
+    def test_warm_hit_across_two_columnar_opens(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        from repro.core import columns as columns_mod
+        from repro.core import storage
+
+        path = tmp_path / "d.fourcol"
+        storage.save_columnar(small_dataset, path)
+
+        cache = AnalysisCache(directory=tmp_path / "cache")
+        calls = []
+        fn = _calls(calls)
+        first_open = storage.load_columnar(path)
+        cache.call(fn, first_open)
+        assert len(calls) == 1
+
+        # Second open (fresh store object, e.g. a new process): keying
+        # must come entirely from the manifest. Make any fingerprint
+        # recomputation loud.
+        def _boom(store):
+            raise AssertionError("column bytes were re-hashed on open")
+
+        monkeypatch.setattr(columns_mod, "compute_fingerprint", _boom)
+        second_open = storage.load_columnar(path)
+        assert cache.call(fn, second_open) == len(small_dataset)
+        assert len(calls) == 1  # warm hit, no recompute
+
+    def test_cache_keys_shared_across_formats(self, small_dataset, tmp_path):
+        from repro.core import io as core_io
+        from repro.core import storage
+
+        core_io.save(small_dataset, tmp_path / "d.jsonl")
+        storage.save_columnar(small_dataset, tmp_path / "d.fourcol")
+        cache = AnalysisCache()
+        calls = []
+        fn = _calls(calls)
+        cache.call(fn, core_io.load(tmp_path / "d.jsonl"))
+        cache.call(fn, storage.load_columnar(tmp_path / "d.fourcol"))
+        # Identical ticket content -> identical key regardless of format.
+        assert len(calls) == 1

@@ -128,3 +128,41 @@ class TestFacadeJobs:
         serial = repro.simulate(scale=0.01, seed=42, jobs=1)
         sharded = repro.simulate(scale=0.01, seed=42, jobs=2)
         assert_traces_identical(serial, sharded)
+
+
+class TestSingleCpuFallback:
+    """``generate_trace(jobs>1)`` on a 1-CPU host must fall back to
+    serial with one warning instead of paying pool overhead."""
+
+    def test_warns_and_matches_serial(self, monkeypatch):
+        import repro.simulation.trace as trace_mod
+
+        config = tiny_scenario(seed=5)
+        serial = generate_trace(config)
+        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="single-CPU"):
+            fallen_back = generate_trace(config, jobs=4)
+        assert (
+            fallen_back.dataset.fingerprint() == serial.dataset.fingerprint()
+        )
+
+    def test_cpu_count_none_treated_as_single(self, monkeypatch):
+        import repro.simulation.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: None)
+        with pytest.warns(RuntimeWarning, match="single-CPU"):
+            generate_trace(tiny_scenario(seed=5), jobs=2)
+
+    def test_no_warning_on_multi_cpu(self, monkeypatch, recwarn):
+        import repro.simulation.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: 8)
+        generate_trace(tiny_scenario(seed=5), jobs=2)
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_jobs1_never_warns(self, monkeypatch, recwarn):
+        import repro.simulation.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: 1)
+        generate_trace(tiny_scenario(seed=5), jobs=1)
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
