@@ -48,6 +48,18 @@ With ``--engine``, each tier additionally exercises the
   generation, skipped automatically when the machine has fewer cores
   than ``--jobs``).
 
+With ``--adaptive``, each engine-eligible tier additionally runs the
+self-tuning planner end to end: ``jobs="serial"`` vs. ``jobs="auto"``
+through one :class:`~repro.engine.policy.ExecutionPolicy`, recording the
+plan the planner chose (mode/jobs/reason from the run telemetry) and the
+measured serial/auto wall-time ratio.  ``--min-parallel-ratio X`` turns
+that into the CI never-slower gate: when the planner picked a parallel
+plan the measured ratio must be at least ``X`` (1.0 = "auto is never
+slower than serial"); when it picked serial the gate passes by
+construction — serial-auto *is* the serial code path, so any wall-time
+delta is timing noise, not a planner failure.  Bit-inequality between
+the two traces always fails the gate.
+
 Usage::
 
     # record the current implementation at two tiers
@@ -62,6 +74,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_perf_core.py \
         --tiers 50k --engine --engine-scale 0.02 --jobs 2 --no-update \
         --check-equivalence --min-cache-speedup 5.0
+
+    # CI adaptive gate: jobs="auto" must never lose to serial
+    PYTHONPATH=src python benchmarks/bench_perf_core.py \
+        --tiers 50k --adaptive --engine-scale 0.02 --no-update \
+        --min-parallel-ratio 1.0
 
     # CI storage gate: columnar open must beat text parse 20x, and the
     # 10M tier must spend <1% of its wall time in load
@@ -513,6 +530,90 @@ def run_engine_tier(
     return out
 
 
+def run_adaptive_tier(name: str, repeats: int, scale_override=None) -> Dict[str, object]:
+    """The self-tuning planner end to end: one serial run, one
+    ``jobs="auto"`` run through an :class:`ExecutionPolicy` with a
+    telemetry sink, plus the plan the planner actually chose."""
+    from repro.engine import ExecutionPolicy, InMemoryTelemetrySink
+    from repro.simulation.trace import generate_trace
+
+    config = _engine_config(name, scale_override)
+    print(f"[{name}] adaptive: generating trace (scale {config.scale}, "
+          f"target {config.scaled_target_failures}) ...", flush=True)
+
+    t0 = time.perf_counter()
+    serial = generate_trace(config, policy=ExecutionPolicy(jobs="serial"))
+    gen_serial = time.perf_counter() - t0
+
+    sink = InMemoryTelemetrySink()
+    t0 = time.perf_counter()
+    auto = generate_trace(
+        config, policy=ExecutionPolicy(jobs="auto", telemetry_sink=sink)
+    )
+    gen_auto = time.perf_counter() - t0
+
+    run = sink.last
+    assert run is not None and run.plan is not None
+    plan = run.plan
+    out = {
+        "tickets": len(auto.dataset),
+        "gen_serial": gen_serial,
+        "gen_auto": gen_auto,
+        "serial_over_auto": gen_serial / max(gen_auto, 1e-9),
+        "mode": plan.mode,
+        "jobs": plan.jobs,
+        "cpus": plan.probed_cpus,
+        "cpu_source": plan.cpu_source,
+        "reason": plan.reason,
+        "equivalent": _traces_identical(serial, auto),
+    }
+    print(
+        f"[{name}] adaptive: serial {gen_serial:.2f}s / auto {gen_auto:.2f}s "
+        f"(x{out['serial_over_auto']:.2f}); planner chose {plan.mode} "
+        f"jobs={plan.jobs} on {plan.probed_cpus} CPUs "
+        f"({'identical' if out['equivalent'] else 'MISMATCH'})",
+        flush=True,
+    )
+    return out
+
+
+def check_adaptive(results, *, min_parallel_ratio) -> int:
+    """Gate on the planner's never-slower promise.
+
+    A serial plan passes by construction (it *is* the serial code path;
+    wall-time deltas there are machine noise, not planner mistakes); a
+    parallel plan must beat serial by ``min_parallel_ratio``.  A trace
+    that is not bit-identical to serial always fails.
+    """
+    failures = 0
+    for name, tier in results.items():
+        adaptive = tier.get("adaptive")
+        if not adaptive:
+            continue
+        if not adaptive["equivalent"]:
+            print(f"FAIL [{name}]: jobs='auto' trace differs from serial")
+            failures += 1
+        ratio = adaptive["serial_over_auto"]
+        if adaptive["mode"] == "serial":
+            print(
+                f"OK [{name}]: planner chose serial — {adaptive['reason']} "
+                f"(measured x{ratio:.2f}, informational)"
+            )
+        elif min_parallel_ratio and ratio < min_parallel_ratio:
+            print(
+                f"FAIL [{name}]: planner chose jobs={adaptive['jobs']} but "
+                f"auto ran x{ratio:.2f} vs serial, below the required "
+                f"x{min_parallel_ratio:.2f}"
+            )
+            failures += 1
+        else:
+            print(
+                f"OK [{name}]: jobs='auto' ({adaptive['mode']}, "
+                f"jobs={adaptive['jobs']}) x{ratio:.2f} vs serial"
+            )
+    return 1 if failures else 0
+
+
 def check_engine(results, *, check_equivalence, min_cache_speedup,
                  min_gen_speedup, jobs) -> int:
     """Gate on the engine invariants; returns a non-zero exit on failure."""
@@ -687,6 +788,17 @@ def main(argv=None) -> int:
         "than serial (skipped on machines with fewer cores than --jobs)",
     )
     parser.add_argument(
+        "--adaptive", action="store_true",
+        help="also run the self-tuning planner stage per tier "
+        "(jobs='serial' vs jobs='auto' through an ExecutionPolicy)",
+    )
+    parser.add_argument(
+        "--min-parallel-ratio", type=float, default=None, metavar="X",
+        help="exit 1 when the planner picked a parallel plan but "
+        "jobs='auto' was not at least X times faster than serial "
+        "(serial plans pass by construction; 1.0 = never slower)",
+    )
+    parser.add_argument(
         "--min-load-speedup", type=float, default=None, metavar="X",
         help="exit 1 when the columnar mmap open is not at least X times "
         "faster than the text parse (text tiers only)",
@@ -729,6 +841,20 @@ def main(argv=None) -> int:
             min_cache_speedup=args.min_cache_speedup,
             min_gen_speedup=args.min_gen_speedup,
             jobs=args.jobs,
+        )
+        if code:
+            return code
+
+    if args.adaptive:
+        for name in tier_names:
+            if name in COLUMNAR_TIERS:
+                print(f"[{name}] adaptive stage skipped: columnar-only tier")
+                continue
+            results[name]["adaptive"] = run_adaptive_tier(
+                name, args.repeats, args.engine_scale
+            )
+        code = check_adaptive(
+            results, min_parallel_ratio=args.min_parallel_ratio
         )
         if code:
             return code

@@ -5,8 +5,10 @@ Run:
 
 ``scale`` defaults to 0.05 (a few thousand servers, ~15k tickets, a few
 seconds); use 1.0 to reproduce the full ~290k-ticket study.  ``jobs``
-shards trace generation over processes — the output is bit-identical
-to serial, so crank it up on a big machine.
+defaults to ``auto``: the adaptive planner probes the machine and picks
+serial or a worker pool on its own — the output is bit-identical either
+way, so ``auto``, ``serial`` and any explicit worker count all produce
+the same trace.
 """
 
 import sys
@@ -16,30 +18,45 @@ import repro
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
-    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    jobs = repro.engine.coerce_jobs(sys.argv[2]) if len(sys.argv) > 2 else "auto"
+
+    # --- one ExecutionPolicy carries every execution knob -------------------
+    # jobs (worker plan), cache (analysis memoization) and telemetry_sink
+    # (structured run documents) thread through all the facade verbs.
+    sink = repro.engine.InMemoryTelemetrySink()
+    policy = repro.ExecutionPolicy(
+        jobs=jobs, cache=repro.AnalysisCache(), telemetry_sink=sink
+    )
 
     # --- simulate: generate the synthetic four-year trace ------------------
     print(f"generating trace at scale {scale} (jobs={jobs}) ...")
-    trace = repro.simulate(scale=scale, seed=7, jobs=jobs)
+    trace = repro.simulate(scale=scale, seed=7, policy=policy)
     dataset = trace.dataset
+    plan = trace.telemetry.plan
     print(f"  {len(dataset)} tickets from {len(trace.fleet)} servers "
-          f"in {len(trace.fleet.datacenters)} data centers\n")
+          f"in {len(trace.fleet.datacenters)} data centers")
+    print(f"  plan: {plan.mode} (jobs={plan.jobs}) — {plan.reason}\n")
 
     # --- full_report: every paper table/figure the data sustains -----------
-    # An AnalysisCache makes the re-run free: results are memoized on the
-    # dataset's content fingerprint, so only changed views recompute.
-    cache = repro.AnalysisCache()
-    print(repro.full_report(dataset, cache=cache).text())
+    # The policy's AnalysisCache makes the re-run free: results are
+    # memoized on the dataset's content fingerprint.
+    print(repro.full_report(dataset, policy=policy).text())
     print()
 
-    # --- analyze: individual named analyses, same cache ---------------------
-    repro.analyze(dataset, "categories", "mtbf", cache=cache)
-    results = repro.analyze(dataset, "categories", "mtbf", cache=cache)
+    # --- analyze: individual named analyses, same policy --------------------
+    repro.analyze(dataset, "categories", "mtbf", policy=policy)
+    results = repro.analyze(dataset, "categories", "mtbf", policy=policy)
     cats = results["categories"]
     print(repro.api.format_table(["category", "share"], cats.rows(),
                                  title="Table I again (warm cache)"))
     print(f"MTBF: {results['mtbf'].mtbf_minutes:.1f} minutes")
-    print(f"cache: {cache.stats.hits} hits / {cache.stats.misses} misses\n")
+    stats = policy.cache.stats
+    print(f"cache: {stats.hits} hits / {stats.misses} misses")
+    analyze_run = sink.last
+    print("analyze stages:", ", ".join(
+        f"{s.name} {s.wall_seconds * 1000:.0f}ms" for s in analyze_run.stages
+    ))
+    print()
 
     # --- load: round-trip through a ticket dump -----------------------------
     from repro.core import io as core_io

@@ -15,17 +15,32 @@ Quickstart — the :mod:`repro.api` facade is the documented surface::
 
     import repro
 
-    trace = repro.simulate(scale=0.05, seed=7, jobs=4)
+    trace = repro.simulate(scale=0.05, seed=7)   # jobs="auto" by default
     print(repro.full_report(trace.dataset).text())
+
+    # One ExecutionPolicy carries every execution knob (worker plan,
+    # analysis cache, telemetry sink) through all the verbs:
+    policy = repro.ExecutionPolicy(jobs="auto", cache=repro.AnalysisCache())
+    trace = repro.simulate(scale=0.05, seed=7, policy=policy)
+    print(trace.telemetry.plan.reason)
 """
 
 from repro.core.dataset import FOTDataset
 from repro.core.ticket import FOT
 from repro.core.types import ComponentClass, FOTCategory
 from repro.simulation.trace import generate_paper_trace, generate_trace
-from repro import analysis, stats
+from repro import analysis, engine, stats
 from repro import api
-from repro.api import AnalysisCache, analyze, audit, compare, full_report, load, simulate
+from repro.api import (
+    AnalysisCache,
+    ExecutionPolicy,
+    analyze,
+    audit,
+    compare,
+    full_report,
+    load,
+    simulate,
+)
 
 __all__ = [
     "FOT",
@@ -34,6 +49,7 @@ __all__ = [
     "FOTCategory",
     "analysis",
     "api",
+    "engine",
     "stats",
     "generate_paper_trace",
     "generate_trace",
@@ -44,6 +60,7 @@ __all__ = [
     "full_report",
     "compare",
     "AnalysisCache",
+    "ExecutionPolicy",
 ]
 
 __version__ = "1.0.0"

@@ -6,28 +6,46 @@ four verbs::
 
     import repro
 
-    trace = repro.simulate(scale=0.05, seed=7, jobs=4)
+    trace = repro.simulate(scale=0.05, seed=7)   # jobs="auto" by default
     dataset = repro.load("dump.jsonl", lenient=True)
     results = repro.analyze(dataset, "categories", "components", "mtbf")
     print(repro.full_report(dataset).text())
 
+*How* the verbs execute is carried by one value, an
+:class:`~repro.engine.policy.ExecutionPolicy`::
+
+    policy = repro.ExecutionPolicy(
+        jobs="auto",                      # or an int, or "serial"
+        cache=repro.AnalysisCache(),      # memoize analysis results
+        telemetry_sink=repro.engine.InMemoryTelemetrySink(),
+    )
+    trace = repro.simulate(scale=0.05, seed=7, policy=policy)
+    report = repro.full_report(trace.dataset, policy=policy)
+    print(policy.telemetry_sink.last.plan.reason)   # why serial/parallel
+
+``jobs="auto"`` (the default) lets the adaptive planner probe usable
+cores and per-shard cost, so generation is parallel exactly when that
+pays — output is bit-identical to serial either way.  The pre-policy
+``jobs=``/``cache=`` kwargs still work but emit ``DeprecationWarning``
+pointing at ``policy=``.
+
 The facade wraps the per-module APIs (``repro.analysis.*``,
 ``repro.core.io``, ``repro.simulation.trace``) without hiding them;
-power users can still import the modules directly.  ``jobs`` fans trace
-generation out over the :mod:`repro.engine` shard pool (bit-identical
-to serial), and ``cache`` threads an
-:class:`~repro.engine.cache.AnalysisCache` through the report path.
+power users can still import the modules directly.
 """
 
 from __future__ import annotations
 
 import contextlib
+import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:
     from repro.config import ScenarioConfig
+    from repro.fleet.inventory import Inventory
     from repro.simulation.trace import SyntheticTrace
 
 from repro.analysis import (
@@ -42,7 +60,11 @@ from repro.analysis import (
     temporal,
 )
 from repro.analysis.compare import DatasetComparison, compare_datasets
-from repro.analysis.full_report import FullReport, ReportSection, full_report
+from repro.analysis.full_report import (
+    FullReport,
+    ReportSection,
+    full_report as _full_report,
+)
 from repro.analysis.mining import mine_incidents
 from repro.analysis.prediction import predict_and_evaluate
 from repro.analysis.report import format_percent, format_table
@@ -50,6 +72,14 @@ from repro.core import io as _io
 from repro.core.dataset import FOTDataset
 from repro.core.types import FOTCategory
 from repro.engine import AnalysisCache
+from repro.engine.policy import DEFAULT_POLICY, ExecutionPolicy, coerce_jobs
+from repro.engine.telemetry import (
+    KIND_ANALYZE,
+    KIND_COMPARE,
+    KIND_REPORT,
+    RunTelemetry,
+    StageTiming,
+)
 from repro.robustness.quality import DataQuality
 from repro.robustness.quarantine import QuarantineReport
 from repro.simulation.trace import generate_trace
@@ -65,6 +95,7 @@ __all__ = [
     "AuditResult",
     "AnalysisCache",
     "DatasetComparison",
+    "ExecutionPolicy",
     "FullReport",
     "ReportSection",
     "compare_datasets",
@@ -74,6 +105,45 @@ __all__ = [
     "format_percent",
     "ANALYSES",
 ]
+
+
+def _warn_deprecated_kwarg(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"the {old} kwarg is deprecated; pass "
+        f"policy=repro.ExecutionPolicy({replacement}) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _resolve_policy(
+    policy: Optional[ExecutionPolicy],
+    *,
+    jobs: Optional[Union[int, str]] = None,
+    cache: Optional[AnalysisCache] = None,
+) -> ExecutionPolicy:
+    """Fold the deprecated per-verb kwargs into one policy.
+
+    ``None`` legacy values are treated as "not passed" (the historical
+    defaults), so only a real legacy value warns; combining a legacy
+    value with an explicit ``policy`` is an error rather than a silent
+    precedence rule.
+    """
+    legacy: Dict[str, Any] = {}
+    if jobs is not None:
+        _warn_deprecated_kwarg("jobs=", "jobs=...")
+        legacy["jobs"] = coerce_jobs(jobs)
+    if cache is not None:
+        _warn_deprecated_kwarg("cache=", "cache=...")
+        legacy["cache"] = cache
+    if policy is None:
+        return DEFAULT_POLICY.with_(**legacy) if legacy else DEFAULT_POLICY
+    if legacy:
+        raise ValueError(
+            "pass execution knobs through policy=..., not alongside it "
+            f"(got legacy kwargs: {', '.join(sorted(legacy))})"
+        )
+    return policy
 
 
 def load(path: Union[str, Path], *, lenient: bool = False) -> FOTDataset:
@@ -162,24 +232,31 @@ def simulate(
     *,
     scale: float = 1.0,
     seed: int = 20170626,
-    jobs: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+    jobs: Optional[Union[int, str]] = None,
 ) -> "SyntheticTrace":
     """Generate a synthetic FOT trace.
 
     Args:
         scenario: a :class:`~repro.config.ScenarioConfig`; when omitted,
             the paper scenario at ``scale``/``seed`` is used.
-        jobs: worker processes for sharded generation.  Output is
-            bit-identical to ``jobs=1`` for the same scenario.
+        policy: the :class:`ExecutionPolicy`; defaults to
+            ``ExecutionPolicy(jobs="auto")``, which lets the adaptive
+            planner probe cores and shard costs and pick serial or a
+            sized pool.  Output is bit-identical for every plan; the
+            chosen plan and per-shard timings land on
+            ``trace.telemetry`` (and the policy's telemetry sink).
+        jobs: deprecated; pass ``policy=ExecutionPolicy(jobs=...)``.
 
     Returns the full trace result (``.dataset``, ``.inventory``,
-    ``.fleet``, ``.fms_stats``).
+    ``.fleet``, ``.fms_stats``, ``.telemetry``).
     """
+    policy = _resolve_policy(policy, jobs=jobs)
     if scenario is None:
         from repro.config import paper_scenario
 
         scenario = paper_scenario(scale=scale, seed=seed)
-    return generate_trace(scenario, jobs=jobs)
+    return generate_trace(scenario, policy=policy)
 
 
 #: Named analyses runnable through :func:`analyze`: name -> (fn, params).
@@ -198,12 +275,22 @@ ANALYSES: Dict[str, Tuple[Any, Dict[str, Any]]] = {
 }
 
 
-def analyze(dataset: FOTDataset, *analyses: str,
-            cache: Optional[AnalysisCache] = None) -> Dict[str, Any]:
+def analyze(
+    dataset: FOTDataset,
+    *analyses: str,
+    policy: Optional[ExecutionPolicy] = None,
+    cache: Optional[AnalysisCache] = None,
+) -> Dict[str, Any]:
     """Run named analyses over ``dataset``; all of them when none named.
+
+    The policy's ``cache`` memoizes results by content fingerprint and
+    its ``telemetry_sink`` receives one per-analysis-timed
+    :class:`~repro.engine.telemetry.RunTelemetry` document.  ``cache=``
+    is the deprecated spelling of ``policy=ExecutionPolicy(cache=...)``.
 
     Returns ``{name: result}``; see :data:`ANALYSES` for the registry.
     """
+    policy = _resolve_policy(policy, cache=cache)
     names = analyses or tuple(ANALYSES)
     unknown = [n for n in names if n not in ANALYSES]
     if unknown:
@@ -211,15 +298,110 @@ def analyze(dataset: FOTDataset, *analyses: str,
             f"unknown analyses {unknown}; choose from {sorted(ANALYSES)}"
         )
     results: Dict[str, Any] = {}
+    stages: List[StageTiming] = []
     for name in names:
         fn, params = ANALYSES[name]
-        if cache is not None:
-            results[name] = cache.call(fn, dataset, **params)
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+        if policy.cache is not None:
+            results[name] = policy.cache.call(fn, dataset, **params)
         else:
             results[name] = fn(dataset, **params)
+        stages.append(
+            StageTiming(
+                name,
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+            )
+        )
+    _record_stages(policy, KIND_ANALYZE, stages)
     return results
 
 
-def compare(left: FOTDataset, right: FOTDataset) -> DatasetComparison:
+def _record_stages(
+    policy: ExecutionPolicy, kind: str, stages: List[StageTiming]
+) -> None:
+    """Emit one telemetry document for a timed facade verb (no-op
+    without a sink)."""
+    if policy.telemetry_sink is None:
+        return
+    total = StageTiming(
+        "total",
+        sum(s.wall_seconds for s in stages),
+        sum(s.cpu_seconds for s in stages),
+    )
+    policy.record(
+        RunTelemetry(
+            kind=kind,
+            stages=(*stages, total),
+            cache=(
+                None if policy.cache is None
+                else policy.cache.stats.as_dict()
+            ),
+        )
+    )
+
+
+def full_report(
+    dataset: FOTDataset,
+    *,
+    inventory: Optional["Inventory"] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    cache: Optional[AnalysisCache] = None,
+    headline_only: bool = False,
+) -> FullReport:
+    """Render the paper report over ``dataset``.
+
+    Args:
+        inventory: fleet inventory; enables the Table IV section.
+        policy: the :class:`ExecutionPolicy`; its ``cache`` memoizes
+            section bodies on the dataset's content fingerprint and its
+            ``telemetry_sink`` receives a timed run document (with the
+            cache's hit counters).
+        cache: deprecated; pass ``policy=ExecutionPolicy(cache=...)``.
+        headline_only: only Tables I/II and the MTBF line (the CLI
+            ``report`` subcommand).
+    """
+    policy = _resolve_policy(policy, cache=cache)
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    report = _full_report(
+        dataset,
+        inventory=inventory,
+        cache=policy.cache,
+        headline_only=headline_only,
+    )
+    _record_stages(
+        policy,
+        KIND_REPORT,
+        [
+            StageTiming(
+                "full_report",
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+            )
+        ],
+    )
+    return report
+
+
+def compare(
+    left: FOTDataset,
+    right: FOTDataset,
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+) -> DatasetComparison:
     """Compare two FOT datasets across the paper's dimensions."""
-    return _compare_mod.compare_datasets(left, right)
+    policy = _resolve_policy(policy)
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    result = _compare_mod.compare_datasets(left, right)
+    _record_stages(
+        policy,
+        KIND_COMPARE,
+        [
+            StageTiming(
+                "compare",
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+            )
+        ],
+    )
+    return result

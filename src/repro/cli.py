@@ -11,6 +11,7 @@ Core subcommands::
     fouryears corrupt trace.jsonl --out dirty.jsonl --seed 7
     fouryears serve --port 8437 --dead-letter-dir dead_letters/
     fouryears replay-deadletter dead_letters/ --out recovered.jsonl
+    fouryears telemetry run.telemetry.jsonl   # where did the time go?
 
 (``repro`` is installed as an alias of ``fouryears``; ``generate`` is a
 deprecated alias of ``simulate``.)
@@ -28,10 +29,14 @@ plus a :class:`~repro.robustness.quality.DataQuality` assessment.
 ``corrupt`` runs the deterministic chaos harness over a clean trace.
 
 Flags behave identically wherever they appear: ``--lenient``
-quarantines malformed input lines instead of failing the load,
-``--jobs N`` shards trace generation over N processes (bit-identical
-output), and ``--cache``/``--no-cache`` toggles the on-disk analysis
-cache under ``.repro_cache/``.
+quarantines malformed input lines instead of failing the load, and
+``--cache``/``--no-cache`` toggles the on-disk analysis cache under
+``.repro_cache/``.  Execution flags all feed one
+:class:`repro.ExecutionPolicy`: ``--jobs auto`` (the default) lets the
+adaptive planner pick serial or a sized pool (bit-identical output
+either way), ``--jobs N``/``--jobs serial`` override it, and
+``--telemetry PATH`` appends one structured run document per engine run
+that ``fouryears telemetry PATH`` renders back.
 """
 
 from __future__ import annotations
@@ -61,13 +66,49 @@ def _cache_from(args: argparse.Namespace) -> Optional[api.AnalysisCache]:
     return None
 
 
+def _policy_from(args: argparse.Namespace) -> api.ExecutionPolicy:
+    """Build the run's :class:`repro.ExecutionPolicy` from the parsed
+    execution flags (each subcommand only defines the ones it uses)."""
+    from repro.engine import JsonlTelemetrySink, coerce_jobs
+
+    sink = None
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        sink = JsonlTelemetrySink(Path(telemetry_path))
+    return api.ExecutionPolicy(
+        jobs=coerce_jobs(getattr(args, "jobs", "auto")),
+        cache=_cache_from(args),
+        telemetry_sink=sink,
+        shard_strategy=getattr(args, "shard_strategy", "cost"),
+    )
+
+
+def _print_plan(trace) -> None:
+    telemetry = trace.telemetry
+    if telemetry is None or telemetry.plan is None:
+        return
+    plan = telemetry.plan
+    print(
+        f"plan: {plan.mode} (jobs={plan.jobs}, {plan.probed_cpus} usable "
+        f"CPUs via {plan.cpu_source}) — {plan.reason}"
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = api.simulate(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    try:
+        policy = _policy_from(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = api.simulate(scale=args.scale, seed=args.seed, policy=policy)
+    _print_plan(trace)
     core_io.save(trace.dataset, args.out)
     print(f"wrote {len(trace.dataset)} tickets to {args.out}")
     if args.inventory:
         trace.inventory.save_csv(args.inventory)
         print(f"wrote inventory ({len(trace.inventory)} servers) to {args.inventory}")
+    if args.telemetry:
+        print(f"appended run telemetry to {args.telemetry}")
     summary = trace.dataset.summary()
     for key, value in summary.items():
         print(f"  {key}: {value}")
@@ -117,7 +158,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.lenient)
     report = api.full_report(
-        dataset, cache=_cache_from(args), headline_only=True
+        dataset, policy=_policy_from(args), headline_only=True
     )
     print(report.text())
     return 0
@@ -131,7 +172,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
         inventory = Inventory.load_csv(args.inventory)
     report = api.full_report(
-        dataset, inventory=inventory, cache=_cache_from(args)
+        dataset, inventory=inventory, policy=_policy_from(args)
     )
     print(report.text())
     return 0
@@ -227,7 +268,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.simulation.validation import failed_checks, validate_trace
 
-    trace = api.simulate(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    try:
+        policy = _policy_from(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = api.simulate(scale=args.scale, seed=args.seed, policy=policy)
+    _print_plan(trace)
     # Sampling noise widens with shrinking traces.
     slack = max(1.0, 0.3 / max(args.scale, 0.01))
     checks = validate_trace(trace, slack=slack)
@@ -368,6 +415,50 @@ def _cmd_replay_deadletter(args: argparse.Namespace) -> int:
     return 1 if still_poison else 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.engine.telemetry import TelemetryError, read_telemetry
+
+    try:
+        runs = read_telemetry(args.path)
+    except FileNotFoundError:
+        print(f"error: no telemetry file at {args.path}", file=sys.stderr)
+        return 2
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not runs:
+        print(f"no runs recorded in {args.path}")
+        return 1
+    selected = runs[-1:] if args.last else runs
+    for i, run in enumerate(selected):
+        ordinal = len(runs) if args.last else i + 1
+        print(
+            api.format_table(
+                ["key", "value"],
+                run.rows(),
+                title=f"run {ordinal}/{len(runs)}: {run.kind}",
+            )
+        )
+        if run.shards:
+            print()
+            print(
+                api.format_table(
+                    ["shard", "idc", "servers", "tickets", "est cost",
+                     "order", "queue", "wall", "cpu"],
+                    [
+                        (s.index, s.idc, s.n_servers, s.n_tickets,
+                         f"{s.estimated_cost:.0f}", s.dispatch_order,
+                         s.queue_depth, f"{s.wall_seconds:.3f}s",
+                         f"{s.cpu_seconds:.3f}s")
+                        for s in run.shards
+                    ],
+                    title="per-shard execution",
+                )
+            )
+        print()
+    return 0
+
+
 def _strip_separator(extra: Sequence[str]) -> Sequence[str]:
     """Drop the optional '--' REMAINDER separator."""
     return extra[1:] if extra and extra[0] == "--" else extra
@@ -388,11 +479,30 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="shard trace generation over N processes "
-        "(output is bit-identical to --jobs 1)",
+        type=str,
+        default="auto",
+        metavar="N|auto|serial",
+        help="worker processes for trace generation: 'auto' lets the "
+        "adaptive planner choose, 'serial' forces in-process execution, "
+        "an integer pins the pool size (output is bit-identical either way)",
+    )
+    parser.add_argument(
+        "--shard-strategy",
+        choices=("cost", "count"),
+        default="cost",
+        dest="shard_strategy",
+        help="shard dispatch order: 'cost' hands out the most expensive "
+        "data centers first (default), 'count' keeps natural order",
+    )
+
+
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append one JSON run document (plan, stage and shard "
+        "timings) per engine run to PATH",
     )
 
 
@@ -440,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
         gen.add_argument("--out", default="trace.jsonl")
         gen.add_argument("--inventory", default=None)
         _add_jobs_flag(gen)
+        _add_telemetry_flag(gen)
         gen.set_defaults(func=_cmd_simulate)
 
     conv = sub.add_parser(
@@ -531,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--scale", type=float, default=0.1)
     check.add_argument("--seed", type=int, default=20170626)
     _add_jobs_flag(check)
+    _add_telemetry_flag(check)
     check.set_defaults(func=_cmd_selfcheck)
 
     srv = sub.add_parser(
@@ -624,6 +736,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to python -m repro.devtools.sanitize",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="render recorded execution telemetry (plan, stage and "
+        "shard timings) from a --telemetry JSONL file",
+    )
+    tele.add_argument("path", help="telemetry JSONL file to render")
+    tele.add_argument(
+        "--last",
+        action="store_true",
+        help="show only the most recent run",
+    )
+    tele.set_defaults(func=_cmd_telemetry)
     return parser
 
 

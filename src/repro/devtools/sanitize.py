@@ -180,17 +180,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", type=float, default=0.175,
                         help="simulated fleet scale (0.175 ≈ 50k tickets)")
     parser.add_argument("--seed", type=int, default=20170626)
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for trace generation")
+    parser.add_argument("--jobs", default="auto",
+                        help="worker processes for trace generation "
+                        "(N, 'auto' or 'serial')")
     args = parser.parse_args(argv)
 
     import repro.api as api
+    from repro.engine import coerce_jobs
 
     if args.path is not None:
         dataset = api.load(args.path, lenient=True)
         print(f"loaded {len(dataset)} tickets from {args.path}")
     else:
-        trace = api.simulate(scale=args.scale, seed=args.seed, jobs=args.jobs)
+        policy = api.ExecutionPolicy(jobs=coerce_jobs(args.jobs))
+        trace = api.simulate(scale=args.scale, seed=args.seed, policy=policy)
         dataset = trace.dataset
         print(
             f"simulated {len(dataset)} tickets "

@@ -47,18 +47,29 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def run_shards(
-    tasks: Sequence["ShardTask"], shared: "ShardShared", jobs: int = 1
+    tasks: Sequence["ShardTask"],
+    shared: "ShardShared",
+    jobs: int = 1,
+    order: Optional[Sequence[int]] = None,
 ) -> List["ShardResult"]:
     """Execute every :class:`~repro.simulation.trace.ShardTask` and
     return the :class:`~repro.simulation.trace.ShardResult` list in task
     order.
 
     ``jobs <= 1`` (or a single task) runs in-process; otherwise a pool
-    of ``min(jobs, len(tasks))`` workers drains the tasks.  Falls back
-    to in-process execution when the platform refuses to fork/spawn.
+    of ``min(jobs, len(tasks))`` workers drains the tasks.  ``order``
+    optionally gives the dispatch sequence of task indices (the
+    adaptive planner hands shards out in descending estimated cost, an
+    LPT approximation against the pool's shared queue); results are
+    re-sorted by task index, so dispatch order never affects output.
+    Falls back to in-process execution when the platform refuses to
+    fork/spawn.
     """
     from repro.simulation.trace import run_shard
 
+    indices: Sequence[int] = order if order is not None else range(len(tasks))
+    if sorted(indices) != list(range(len(tasks))):
+        raise ValueError("order must be a permutation of the task indices")
     jobs = min(max(1, int(jobs)), len(tasks))
     if jobs <= 1 or len(tasks) <= 1:
         return [run_shard(task, shared) for task in tasks]
@@ -67,7 +78,7 @@ def run_shards(
         with ctx.Pool(
             processes=jobs, initializer=_init_worker, initargs=(shared, tasks)
         ) as pool:
-            results = pool.map(_run_one, range(len(tasks)), chunksize=1)
+            results = pool.map(_run_one, indices, chunksize=1)
     except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
         return [run_shard(task, shared) for task in tasks]
     return sorted(results, key=lambda r: r.index)

@@ -33,6 +33,12 @@ from typing import Awaitable, Callable, Dict, List, Optional, Sequence
 from repro.analysis.full_report import full_report
 from repro.core.dataset import FOTDataset
 from repro.engine.cache import AnalysisCache
+from repro.engine.telemetry import (
+    KIND_REPORT,
+    InMemoryTelemetrySink,
+    RunTelemetry,
+    StageTiming,
+)
 from repro.robustness.batch import (
     POISON_DIRTY,
     POISON_OVERSIZED,
@@ -131,6 +137,9 @@ class IngestRouter:
             append_fault=append_fault, sleep=sleep, clock=clock,
             retry_rng=retry_rng,
         )
+        #: Execution telemetry for the periodic report refreshes; the
+        #: latest run document is surfaced verbatim under ``/metrics``.
+        self.telemetry = InMemoryTelemetrySink()
         self._seq = 0
         self._accepted_batches = 0
         self._worker: Optional["asyncio.Task[None]"] = None
@@ -333,12 +342,26 @@ class IngestRouter:
         snapshot = self.live.current()
         self.metrics.compactions = self.live.compactions
         started = time.perf_counter()
+        cpu0 = time.process_time()
         await loop.run_in_executor(
             None,
             lambda: full_report(snapshot, cache=self.cache, headline_only=True),
         )
         self.last_refresh_seconds = time.perf_counter() - started
         self.metrics.refreshes += 1
+        self.telemetry.record(
+            RunTelemetry(
+                kind=KIND_REPORT,
+                stages=(
+                    StageTiming(
+                        name="refresh",
+                        wall_seconds=self.last_refresh_seconds,
+                        cpu_seconds=time.process_time() - cpu0,
+                    ),
+                ),
+                cache=self.cache.stats.as_dict(),
+            )
+        )
 
     # ------------------------------------------------------------------
     # observability surface
@@ -361,6 +384,11 @@ class IngestRouter:
                 "write_failures": len(self.dead_letter_failures),
             },
             "cache": self.cache.stats.as_dict(),
+            "execution": (
+                self.telemetry.last.to_dict()
+                if self.telemetry.last is not None
+                else None
+            ),
         }
 
     def health(self) -> Dict[str, object]:

@@ -29,10 +29,9 @@ once and cloned per shard with :meth:`OperatorModel.with_rng`.
 from __future__ import annotations
 
 import dataclasses
-import os
-import warnings
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +65,10 @@ from repro.simulation.correlated import (
 )
 from repro.simulation.events import RawFailure
 
+if TYPE_CHECKING:
+    from repro.engine.policy import ExecutionPolicy
+    from repro.engine.telemetry import RunTelemetry
+
 #: FMS-grown repeat chains of shard *i* are numbered from
 #: ``i * CHAIN_ID_STRIDE`` so chain ids stay globally unique.
 CHAIN_ID_STRIDE = 1_000_000_000
@@ -86,6 +89,10 @@ class SyntheticTrace:
         injections: Ground truth of correlated/repeat injections.
         fms_stats: Pipeline counters (events in, repeats scheduled, ...),
             summed over shards.
+        telemetry: The run's structured execution telemetry (plan
+            decision, per-stage and per-shard timings); ``None`` for
+            traces assembled outside :func:`generate_trace`.
+            Observational only — never part of the dataset content.
     """
 
     dataset: FOTDataset
@@ -95,6 +102,7 @@ class SyntheticTrace:
     storms: List[StormRecord] = field(default_factory=list)
     injections: List[InjectionRecord] = field(default_factory=list)
     fms_stats: Dict[str, int] = field(default_factory=dict)
+    telemetry: Optional["RunTelemetry"] = None
 
     @property
     def horizon_seconds(self) -> float:
@@ -196,13 +204,20 @@ class ShardTask:
 
 @dataclass
 class ShardResult:
-    """One executed shard: raw columns plus pipeline counters."""
+    """One executed shard: raw columns plus pipeline counters.
+
+    ``wall_seconds``/``cpu_seconds`` time the shard's own execution
+    (measured inside :func:`run_shard`, so they are per-worker under a
+    pool).  Telemetry only — the trace content never depends on them.
+    """
 
     index: int
     n: int
     arrays: Dict[str, np.ndarray]
     tables: Dict[str, Tuple[str, ...]]
     stats: Dict[str, int]
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
 
 
 @dataclass
@@ -368,6 +383,7 @@ def run_shard(task: ShardTask, shared: ShardShared) -> ShardResult:
     task's spawned seed, so results do not depend on which process (or
     in which order) shards run.
     """
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     rng = np.random.default_rng(task.seed)
     events = sample_shard_failures(
         deployed=task.deployed,
@@ -401,6 +417,8 @@ def run_shard(task: ShardTask, shared: ShardShared) -> ShardResult:
         arrays={name: store.column(name) for name in COLUMN_NAMES},
         tables={name: store.table(name) for name in TABLE_NAMES},
         stats=dict(pipeline.stats),
+        wall_seconds=time.perf_counter() - wall0,
+        cpu_seconds=time.process_time() - cpu0,
     )
 
 
@@ -453,36 +471,113 @@ def finish_trace(plan: TracePlan, results: Sequence[ShardResult]) -> SyntheticTr
     )
 
 
-def generate_trace(config: ScenarioConfig, jobs: int = 1) -> SyntheticTrace:
+def generate_trace(
+    config: ScenarioConfig,
+    jobs: Optional[Union[int, str]] = None,
+    *,
+    policy: Optional["ExecutionPolicy"] = None,
+) -> SyntheticTrace:
     """Generate one synthetic four-year trace from a scenario config.
 
-    ``jobs > 1`` executes the per-DC shards on a process pool
-    (:mod:`repro.engine.parallel`); the output is bit-identical to
-    ``jobs=1`` for the same scenario seed.  On a single-CPU host the
-    pool only adds fork/IPC overhead, so ``jobs > 1`` falls back to
-    serial execution with a warning instead of running slower than
-    ``jobs=1``.
+    Execution is planned by :func:`repro.engine.adaptive.plan_execution`
+    from the policy's ``jobs`` request (default ``"auto"``): the
+    planner probes usable cores, estimates per-shard cost, and runs the
+    per-DC shards either in-process or on a sized process pool.  Every
+    plan produces bit-identical output for the same scenario seed, so
+    the choice is purely about speed — and ``"auto"`` falls back to
+    serial whenever a pool could not pay for itself (one usable core, a
+    single shard, or a workload below the payoff threshold).  The
+    chosen plan, the reason, and per-stage/per-shard timings are
+    recorded on ``trace.telemetry`` (and the policy's telemetry sink).
+
+    ``jobs`` is the positional shorthand for
+    ``policy=ExecutionPolicy(jobs=...)``; pass one or the other.
     """
-    plan = plan_trace(config)
-    if jobs > 1 and (os.cpu_count() or 1) <= 1:
-        warnings.warn(
-            f"generate_trace(jobs={jobs}): single-CPU host, running "
-            "serially (a process pool would only add overhead)",
-            RuntimeWarning,
-            stacklevel=2,
+    from repro.engine.adaptive import plan_execution
+    from repro.engine.policy import ExecutionPolicy, coerce_jobs
+    from repro.engine.telemetry import (
+        KIND_TRACE,
+        RunTelemetry,
+        ShardTelemetry,
+        StageTiming,
+    )
+
+    if policy is None:
+        policy = ExecutionPolicy(
+            jobs="auto" if jobs is None else coerce_jobs(jobs)
         )
-        jobs = 1
-    if jobs > 1:
+    elif jobs is not None:
+        raise ValueError("pass either jobs= or policy=, not both")
+
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    plan = plan_trace(config)
+    xplan = plan_execution(
+        plan.tasks,
+        requested=policy.jobs,
+        shard_strategy=policy.shard_strategy,
+    )
+    plan_wall = time.perf_counter() - wall0
+    plan_cpu = time.process_time() - cpu0
+
+    wall1, cpu1 = time.perf_counter(), time.process_time()
+    if xplan.parallel:
         from repro.engine.parallel import run_shards
 
-        results = run_shards(plan.tasks, plan.shared, jobs=jobs)
+        results = run_shards(
+            plan.tasks, plan.shared, jobs=xplan.jobs,
+            order=xplan.dispatch_order,
+        )
     else:
         results = [run_shard(task, plan.shared) for task in plan.tasks]
-    return finish_trace(plan, results)
+    execute_wall = time.perf_counter() - wall1
+    execute_cpu = time.process_time() - cpu1
+
+    wall2, cpu2 = time.perf_counter(), time.process_time()
+    trace = finish_trace(plan, results)
+    assemble_wall = time.perf_counter() - wall2
+    assemble_cpu = time.process_time() - cpu2
+
+    position_of = {
+        index: pos for pos, index in enumerate(xplan.dispatch_order)
+    }
+    trace.telemetry = RunTelemetry(
+        kind=KIND_TRACE,
+        plan=xplan.decision,
+        stages=(
+            StageTiming("plan", plan_wall, plan_cpu),
+            StageTiming("execute", execute_wall, execute_cpu),
+            StageTiming("assemble", assemble_wall, assemble_cpu),
+            StageTiming(
+                "total",
+                plan_wall + execute_wall + assemble_wall,
+                plan_cpu + execute_cpu + assemble_cpu,
+            ),
+        ),
+        shards=tuple(
+            ShardTelemetry(
+                index=result.index,
+                idc=plan.tasks[result.index].idc,
+                n_servers=len(plan.tasks[result.index].rows),
+                n_tickets=result.n,
+                estimated_cost=xplan.costs[result.index],
+                dispatch_order=position_of[result.index],
+                queue_depth=xplan.queue_depth_at(position_of[result.index]),
+                wall_seconds=result.wall_seconds,
+                cpu_seconds=result.cpu_seconds,
+            )
+            for result in sorted(results, key=lambda r: r.index)
+        ),
+    )
+    policy.record(trace.telemetry)
+    return trace
 
 
 def generate_paper_trace(
-    scale: float = 1.0, seed: int = 20170626, jobs: int = 1
+    scale: float = 1.0,
+    seed: int = 20170626,
+    jobs: Optional[Union[int, str]] = None,
+    *,
+    policy: Optional["ExecutionPolicy"] = None,
 ) -> SyntheticTrace:
     """Generate the calibrated paper scenario (optionally scaled down).
 
@@ -490,7 +585,9 @@ def generate_paper_trace(
     centers; ``scale=0.05`` is a comfortable laptop-sized trace with the
     same per-server statistics.
     """
-    return generate_trace(paper_scenario(scale=scale, seed=seed), jobs=jobs)
+    return generate_trace(
+        paper_scenario(scale=scale, seed=seed), jobs, policy=policy
+    )
 
 
 __all__ = [

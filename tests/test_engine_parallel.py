@@ -122,47 +122,68 @@ class TestPlanAndShards:
 
 
 class TestFacadeJobs:
-    def test_api_simulate_jobs(self):
+    def test_api_simulate_policy_jobs(self):
         import repro
 
-        serial = repro.simulate(scale=0.01, seed=42, jobs=1)
-        sharded = repro.simulate(scale=0.01, seed=42, jobs=2)
+        serial = repro.simulate(
+            scale=0.01, seed=42, policy=repro.ExecutionPolicy(jobs="serial")
+        )
+        sharded = repro.simulate(
+            scale=0.01, seed=42, policy=repro.ExecutionPolicy(jobs=2)
+        )
         assert_traces_identical(serial, sharded)
 
+    def test_api_simulate_legacy_jobs_kwarg_warns_but_works(self):
+        import repro
 
-class TestSingleCpuFallback:
-    """``generate_trace(jobs>1)`` on a 1-CPU host must fall back to
-    serial with one warning instead of paying pool overhead."""
+        with pytest.warns(DeprecationWarning, match="jobs= kwarg is deprecated"):
+            legacy = repro.simulate(scale=0.01, seed=42, jobs=2)
+        clean = repro.simulate(
+            scale=0.01, seed=42, policy=repro.ExecutionPolicy(jobs=2)
+        )
+        assert_traces_identical(legacy, clean)
 
-    def test_warns_and_matches_serial(self, monkeypatch):
-        import repro.simulation.trace as trace_mod
 
-        config = tiny_scenario(seed=5)
-        serial = generate_trace(config)
-        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: 1)
-        with pytest.warns(RuntimeWarning, match="single-CPU"):
-            fallen_back = generate_trace(config, jobs=4)
-        assert (
-            fallen_back.dataset.fingerprint() == serial.dataset.fingerprint()
+class TestSingleCpuSerialDecision:
+    """``jobs>1`` (or ``"auto"``) on a 1-CPU host must run serially —
+    silently, with the decision recorded in telemetry instead of a
+    RuntimeWarning (the PR-7 warning fired on every CI run and told
+    the user nothing actionable)."""
+
+    def _one_cpu(self, monkeypatch):
+        import repro.engine.adaptive as adaptive
+
+        monkeypatch.setattr(
+            adaptive, "probe_cpu_count",
+            lambda: adaptive.CpuProbe(count=1, source="test"),
         )
 
-    def test_cpu_count_none_treated_as_single(self, monkeypatch):
-        import repro.simulation.trace as trace_mod
+    def test_serial_and_identical_without_warning(self, monkeypatch, recwarn):
+        from repro.engine import ExecutionPolicy, InMemoryTelemetrySink
 
-        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: None)
-        with pytest.warns(RuntimeWarning, match="single-CPU"):
-            generate_trace(tiny_scenario(seed=5), jobs=2)
-
-    def test_no_warning_on_multi_cpu(self, monkeypatch, recwarn):
-        import repro.simulation.trace as trace_mod
-
-        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: 8)
-        generate_trace(tiny_scenario(seed=5), jobs=2)
+        config = tiny_scenario(seed=5)
+        serial = generate_trace(config, jobs=1)
+        self._one_cpu(monkeypatch)
+        sink = InMemoryTelemetrySink()
+        trace = generate_trace(
+            config, policy=ExecutionPolicy(jobs=4, telemetry_sink=sink)
+        )
+        assert trace.dataset.fingerprint() == serial.dataset.fingerprint()
         assert not [w for w in recwarn if w.category is RuntimeWarning]
+        plan = sink.last.plan
+        assert plan.mode == "serial"
+        assert plan.jobs == 1
+        assert "1 usable CPU" in plan.reason
+
+    def test_auto_on_one_cpu_plans_serial(self, monkeypatch):
+        self._one_cpu(monkeypatch)
+        trace = generate_trace(tiny_scenario(seed=5), jobs="auto")
+        plan = trace.telemetry.plan
+        assert plan.mode == "serial"
+        assert plan.probed_cpus == 1
+        assert plan.cpu_source == "test"
 
     def test_jobs1_never_warns(self, monkeypatch, recwarn):
-        import repro.simulation.trace as trace_mod
-
-        monkeypatch.setattr(trace_mod.os, "cpu_count", lambda: 1)
+        self._one_cpu(monkeypatch)
         generate_trace(tiny_scenario(seed=5), jobs=1)
         assert not [w for w in recwarn if w.category is RuntimeWarning]

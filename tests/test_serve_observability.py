@@ -154,3 +154,35 @@ class TestBreakerObservability:
         health = router.health()
         assert health["status"] == "degraded"
         assert any("watermark" in reason for reason in health["reasons"])
+
+
+class TestExecutionTelemetry:
+    """The refresh path reports structured execution telemetry, and
+    ``/metrics`` surfaces the latest run document verbatim."""
+
+    def test_metrics_execution_is_none_before_any_refresh(self):
+        router = make_router()
+        assert router.metrics_snapshot()["execution"] is None
+
+    def test_refresh_records_schema_stable_telemetry(self):
+        from repro.engine.telemetry import RunTelemetry
+
+        router = make_router(refresh_interval_batches=1)
+        drive(router, [("dc-a", make_records(40))])
+        doc = router.metrics_snapshot()["execution"]
+        assert doc is not None
+        run = RunTelemetry.from_dict(doc)  # decodes: schema holds
+        assert run.kind == "report"
+        refresh = run.stage("refresh")
+        assert refresh is not None and refresh.wall_seconds > 0
+        assert run.cache is not None
+
+    def test_metrics_show_latest_refresh(self):
+        router = make_router(refresh_interval_batches=1)
+        drive(router, [
+            ("dc-a", make_records(40)),
+            ("dc-a", make_records(40, start=40)),
+        ])
+        assert len(router.telemetry.runs) == 2
+        latest = router.metrics_snapshot()["execution"]
+        assert latest == router.telemetry.last.to_dict()
