@@ -717,8 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run reprolint, the repo-specific AST invariant checker "
-        "(see 'fouryears lint -- --help' for its own flags)",
+        help="run reprolint, the repo-specific invariant checker "
+        "(engines: ast, dataflow, effects; see 'fouryears lint -- "
+        "--help' for its own flags)",
     )
     lint.add_argument(
         "lint_args", nargs=argparse.REMAINDER, metavar="ARGS",

@@ -602,7 +602,8 @@ class _Analyzer:
         if self._emitting:
             self.findings.append(
                 Finding(rule, self.path, getattr(node, "lineno", 1),
-                        getattr(node, "col_offset", 0), message)
+                        getattr(node, "col_offset", 0), message,
+                        engine="dataflow")
             )
 
     # -- block transfer --------------------------------------------------

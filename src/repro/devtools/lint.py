@@ -19,9 +19,21 @@ finding on its line — so stale suppressions cannot rot in place.
 
 **Baseline**: ``--write-baseline`` records the current findings into a
 JSON file (default ``reprolint-baseline.json``) keyed by content
-fingerprints (rule + path + source line text), so pre-existing accepted
-findings survive unrelated line drift without blocking CI.  New code
-starts from an empty baseline.
+fingerprints (engine + rule + path + source line text), so pre-existing
+accepted findings survive unrelated line drift without blocking CI.
+The engine participates in the fingerprint so an AST-engine baseline
+entry can never mask a dataflow/effects finding at the same location.
+New code starts from an empty baseline.
+
+**Engines** are cumulative: ``ast`` ⊂ ``dataflow`` ⊂ ``effects`` —
+``--engine effects`` runs the syntactic rules, the
+abstract-interpretation pass, *and* the concurrency/resource-safety
+pass, so one SARIF upload covers the whole catalog.
+
+``--changed-since <ref>`` restricts *reported* findings to files that
+differ from a git ref (analysis still sees the whole tree, so
+interprocedural summaries stay accurate) — the fast PR signal next to
+the full CI job.
 
 Reporters: human ``file:line:col: RPLxxx message`` (default) and
 ``--format json`` emitting ``{"version", "findings", "summary"}``.
@@ -39,13 +51,13 @@ import sys
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.devtools.rules import RULES, Finding, Project, check_file
 
-ENGINES = ("ast", "dataflow")
+ENGINES = ("ast", "dataflow", "effects")
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 JSON_VERSION = 1
 DEFAULT_PATHS = ("src", "tests", "benchmarks")
 DEFAULT_BASELINE = "reprolint-baseline.json"
@@ -178,22 +190,26 @@ def _apply_suppressions(
 # baseline
 # ---------------------------------------------------------------------------
 def fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    """Content fingerprint; the engine is part of the hash so a finding
+    baselined under one engine never masks another engine's finding at
+    the same location."""
     raw = "|".join(
-        (finding.rule, finding.path, line_text.strip(), str(occurrence))
+        (finding.engine, finding.rule, finding.path, line_text.strip(),
+         str(occurrence))
     )
     return hashlib.sha1(raw.encode()).hexdigest()
 
 
 def _fingerprints(findings: Sequence[Finding],
                   sources: Dict[str, List[str]]) -> List[str]:
-    """Stable content fingerprint per finding; duplicate (rule, text)
-    pairs in one file are disambiguated by occurrence index."""
-    seen: Dict[Tuple[str, str, str], int] = {}
+    """Stable content fingerprint per finding; duplicate (engine, rule,
+    text) triples in one file are disambiguated by occurrence index."""
+    seen: Dict[Tuple[str, str, str, str], int] = {}
     out = []
     for finding in findings:
         lines = sources.get(finding.path, [])
         text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
-        key = (finding.rule, finding.path, text.strip())
+        key = (finding.engine, finding.rule, finding.path, text.strip())
         occurrence = seen.get(key, 0)
         seen[key] = occurrence + 1
         out.append(fingerprint(finding, text, occurrence))
@@ -208,9 +224,15 @@ def load_baseline(path: Path) -> "set[str]":
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"reprolint: unreadable baseline {path}: {exc}") from exc
     if payload.get("version") != BASELINE_VERSION:
+        hint = ""
+        if payload.get("version") == 1:
+            hint = (
+                " (version 1 predates engine-aware fingerprints; "
+                "regenerate it with --write-baseline)"
+            )
         raise SystemExit(
             f"reprolint: baseline {path} has unsupported version "
-            f"{payload.get('version')!r}"
+            f"{payload.get('version')!r}{hint}"
         )
     return {entry["fingerprint"] for entry in payload.get("findings", [])}
 
@@ -222,6 +244,7 @@ def write_baseline(path: Path, findings: Sequence[Finding],
         "findings": [
             {
                 "fingerprint": print_,
+                "engine": finding.engine,
                 "rule": finding.rule,
                 "path": finding.path,
                 "line": finding.line,
@@ -266,16 +289,38 @@ def collect_files(paths: Sequence[str]) -> List[Path]:
     return files
 
 
+def checked_rules_for(engine: str) -> "Set[str]":
+    """Rules the engine actually evaluates (engines are cumulative:
+    ast ⊂ dataflow ⊂ effects).  Suppressions naming only rules outside
+    the set are left alone rather than reported unused."""
+    checked = {
+        rule for rule in RULES
+        if not rule.startswith(("RPL1", "RPL2"))
+    }
+    if engine in ("dataflow", "effects"):
+        checked |= {rule for rule in RULES if rule.startswith("RPL1")}
+    if engine == "effects":
+        checked |= {rule for rule in RULES if rule.startswith("RPL2")}
+    return checked
+
+
 def run_lint(paths: Sequence[str],
              baseline: Optional[Path] = None,
-             engine: str = "ast") -> LintResult:
+             engine: str = "ast",
+             restrict_to: Optional["Set[str]"] = None) -> LintResult:
     """Lint ``paths`` and classify findings against ``baseline``.
 
     ``engine="ast"`` runs the syntactic RPL000–005 rules; ``"dataflow"``
     additionally runs the abstract-interpretation pass
     (:mod:`repro.devtools.dataflow`): RPL101–104 plus interprocedural
-    RPL001/002 call-site findings.  Suppression and baseline handling
-    are identical for both engines.
+    RPL001/002 call-site findings; ``"effects"`` additionally runs the
+    concurrency & resource-safety pass
+    (:mod:`repro.devtools.effects`): RPL201–213.  Suppression and
+    baseline handling are identical for all engines.
+
+    ``restrict_to`` (resolved posix paths) limits *reported* findings
+    to those files — interprocedural summaries are still built from
+    every linted file, so cross-file effects stay visible.
     """
     if engine not in ENGINES:
         raise SystemExit(f"reprolint: unknown engine {engine!r}")
@@ -294,27 +339,43 @@ def run_lint(paths: Sequence[str],
 
     project = Project(trees)
     dataflow_project = None
-    if engine == "dataflow":
+    effects_project = None
+    if engine in ("dataflow", "effects"):
         from repro.devtools.dataflow import DataflowProject
 
         dataflow_project = DataflowProject(trees)
+    if engine == "effects":
+        from repro.devtools.effects import EffectsProject
+
+        effects_project = EffectsProject(trees)
+    checked = checked_rules_for(engine)
     all_findings: List[Finding] = []
     suppressed_all: List[Finding] = []
     for path in files:
+        if restrict_to is not None \
+                and path.resolve().as_posix() not in restrict_to:
+            continue
         rel = path.as_posix()
         raw_findings = check_file(path, trees[path], project)
         if dataflow_project is not None:
             from repro.devtools.dataflow import analyze_module
 
-            raw_findings = sorted(
-                raw_findings + analyze_module(path, trees[path],
-                                              dataflow_project),
-                key=lambda f: (f.line, f.col, f.rule, f.message),
+            raw_findings = raw_findings + analyze_module(
+                path, trees[path], dataflow_project
             )
+        if effects_project is not None:
+            from repro.devtools.effects import (
+                analyze_module as analyze_effects,
+            )
+
+            raw_findings = raw_findings + analyze_effects(
+                path, trees[path], effects_project
+            )
+        raw_findings = sorted(
+            raw_findings,
+            key=lambda f: (f.line, f.col, f.rule, f.message),
+        )
         suppressions, meta = _parse_suppressions(raw_sources[path], rel)
-        checked = set(RULES) if engine == "dataflow" else {
-            rule for rule in RULES if not rule.startswith("RPL1")
-        }
         active, suppressed, unused = _apply_suppressions(
             raw_findings, suppressions, rel, checked_rules=checked
         )
@@ -348,6 +409,7 @@ def _report_json(result: LintResult) -> str:
             "version": JSON_VERSION,
             "findings": [
                 {
+                    "engine": finding.engine,
                     "rule": finding.rule,
                     "path": finding.path,
                     "line": finding.line,
@@ -411,7 +473,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=ENGINES, default="ast",
         help="'ast' runs the syntactic rules; 'dataflow' adds the "
              "abstract-interpretation analyses (RPL101-104 and "
-             "interprocedural RPL001/002)",
+             "interprocedural RPL001/002); 'effects' additionally adds "
+             "the concurrency & resource-safety analyses (RPL201-213)",
+    )
+    parser.add_argument(
+        "--changed-since", default=None, metavar="REF",
+        help="only report findings in files that differ from git REF "
+             "(tracked changes plus untracked files); analysis still "
+             "covers every linted file so interprocedural summaries "
+             "stay whole-tree",
     )
     parser.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
@@ -425,6 +495,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalog",
     )
     return parser
+
+
+def changed_files(ref: str) -> "Set[str]":
+    """Resolved posix paths of files changed vs ``ref`` — tracked
+    modifications plus untracked (not-ignored) files, so a new module
+    is linted on the PR that introduces it."""
+    import subprocess
+
+    def _git(*argv: str) -> str:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"reprolint: git {' '.join(argv)} failed: "
+                f"{proc.stderr.strip() or proc.returncode}"
+            )
+        return proc.stdout
+
+    top = Path(_git("rev-parse", "--show-toplevel").strip())
+    names = set(_git("diff", "--name-only", "-z", ref, "--").split("\0"))
+    names |= set(
+        _git("ls-files", "--others", "--exclude-standard", "-z").split("\0")
+    )
+    return {
+        (top / name).resolve().as_posix() for name in names if name
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -441,8 +538,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif Path(DEFAULT_BASELINE).exists() or args.write_baseline:
             baseline = Path(DEFAULT_BASELINE)
 
+    restrict: Optional["Set[str]"] = None
+    if args.changed_since is not None:
+        restrict = changed_files(args.changed_since)
+
     if args.write_baseline:
-        result = run_lint(args.paths, baseline=None, engine=args.engine)
+        result = run_lint(args.paths, baseline=None, engine=args.engine,
+                          restrict_to=restrict)
         target = baseline or Path(DEFAULT_BASELINE)
         write_baseline(target, result.new, result.new_fingerprints)
         print(
@@ -450,7 +552,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    result = run_lint(args.paths, baseline=baseline, engine=args.engine)
+    result = run_lint(args.paths, baseline=baseline, engine=args.engine,
+                      restrict_to=restrict)
     if args.fmt == "json":
         report = _report_json(result)
     elif args.fmt == "sarif":
@@ -472,6 +575,8 @@ if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
 
 __all__ = [
     "LintResult",
+    "changed_files",
+    "checked_rules_for",
     "run_lint",
     "load_baseline",
     "write_baseline",

@@ -54,18 +54,33 @@ RULES: Dict[str, str] = {
     "RPL102": "time units: no magic second-count literals folded into arithmetic",
     "RPL103": "dtype width: no narrowing casts/accumulation over time-unit values",
     "RPL104": "shard determinism: sort set/dict/fs-listing iteration before ordered folds",
+    # Concurrency & resource-safety rules implemented by the effects
+    # engine (repro.devtools.effects, --engine=effects).
+    "RPL201": "async blocking: no synchronous blocking calls on the event loop",
+    "RPL202": "async sharing: no shared mutable state read-then-written across an await",
+    "RPL203": "async tasks: create_task results must be retained or given a done-callback",
+    "RPL211": "pool captures: process-pool work must not capture mutable/unpicklable/unseeded-RNG state",
+    "RPL212": "resource lifetime: files/mmaps need a context manager, close, or finalizer; buffers must not outlive their backing store",
+    "RPL213": "atomic writes: durable files are written via write-then-rename, never in place",
 }
 
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
-    """One linter finding, anchored to a file position."""
+    """One linter finding, anchored to a file position.
+
+    ``engine`` names the analysis family that produced the finding
+    (``"ast"``, ``"dataflow"`` or ``"effects"``); it participates in the
+    baseline fingerprint so a finding accepted under one engine can
+    never mask a different engine's finding at the same location.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    engine: str = "ast"
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

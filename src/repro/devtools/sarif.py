@@ -56,7 +56,9 @@ def _result(finding: Finding, fingerprint: str) -> Dict:
                 }
             }
         ],
-        "partialFingerprints": {"reprolintFingerprint/v1": fingerprint},
+        # v2: the baseline fingerprint now hashes the producing engine
+        # too, so dedup is engine-aware across analysis families.
+        "partialFingerprints": {"reprolintFingerprint/v2": fingerprint},
     }
 
 

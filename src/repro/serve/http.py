@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.serve.breaker import BreakerOpenError
 from repro.serve.metrics import STATUS_OK
@@ -133,6 +133,27 @@ async def _read_request(
     return method, path, body
 
 
+def _parse_body(
+    body: bytes,
+) -> Tuple[Optional[List[object]], Optional[
+        Tuple[int, Dict[str, object], Dict[str, str]]]]:
+    """``(records, None)`` or ``(None, error_response)``.
+
+    Module-level (no captured state) so :meth:`ServeApp.handle_async`
+    can push the potentially MB-scale decode+parse into the executor
+    while keeping the submit itself on the event loop.
+    """
+    try:
+        records = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, (400, {"error": f"body is not valid JSON: {exc}"}, {})
+    if not isinstance(records, list):
+        return None, (
+            400, {"error": "body must be a JSON array of records"}, {},
+        )
+    return records, None
+
+
 class ServeApp:
     """Routes one parsed request against an :class:`IngestRouter`."""
 
@@ -147,7 +168,13 @@ class ServeApp:
         if path.startswith("/ingest/"):
             if method != "POST":
                 return 405, {"error": "POST required"}, {}
-            return self._ingest(path[len("/ingest/"):], body)
+            source = path[len("/ingest/"):]
+            if not source:
+                return 400, {"error": "empty source name"}, {}
+            records, error = _parse_body(body)
+            if error is not None:
+                return error
+            return self._ingest(source, records)
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "GET required"}, {}
@@ -161,16 +188,8 @@ class ServeApp:
         return 404, {"error": f"no route for {path!r}"}, {}
 
     def _ingest(
-        self, source: str, body: bytes
+        self, source: str, records: List[object]
     ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
-        if not source:
-            return 400, {"error": "empty source name"}, {}
-        try:
-            records = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, {"error": f"body is not valid JSON: {exc}"}, {}
-        if not isinstance(records, list):
-            return 400, {"error": "body must be a JSON array of records"}, {}
         try:
             receipt = self.router.submit(source, records)
         except QueueFullError as exc:
@@ -196,6 +215,32 @@ class ServeApp:
             {},
         )
 
+    async def handle_async(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """:meth:`handle`, but safe on the event loop.
+
+        The JSON body parse (CPU-bound for MB-scale batches) and the
+        read-only GET routes (``/metrics`` touches the dead-letter
+        manifest on disk) run in the executor; the submit itself stays
+        on-loop because the ingest queue's wakeup event is an asyncio
+        primitive and is not thread-safe.
+        """
+        loop = asyncio.get_running_loop()
+        if path.startswith("/ingest/") and method == "POST":
+            source = path[len("/ingest/"):]
+            if not source:
+                return 400, {"error": "empty source name"}, {}
+            records, error = await loop.run_in_executor(
+                None, _parse_body, body
+            )
+            if error is not None:
+                return error
+            return self._ingest(source, records)
+        return await loop.run_in_executor(
+            None, self.handle, method, path, body
+        )
+
     # ------------------------------------------------------------------
     async def handle_connection(
         self,
@@ -213,7 +258,9 @@ class ServeApp:
                 )
             else:
                 try:
-                    status, payload, headers = self.handle(method, path, body)
+                    status, payload, headers = await self.handle_async(
+                        method, path, body
+                    )
                 except Exception as exc:  # handler bug: report, keep serving
                     status, payload, headers = (
                         500, {"error": repr(exc)}, {}

@@ -210,13 +210,16 @@ class IngestRouter:
     async def stop(self, drain: bool = True) -> None:
         if drain:
             await self.drain()
-        if self._worker is not None:
-            self._worker.cancel()
+        # Capture-and-swap in one statement: a concurrent start() during
+        # the await below sees _worker already cleared instead of racing
+        # the post-await `self._worker = None` (RPL202).
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.cancel()
             try:
-                await self._worker
+                await worker
             except asyncio.CancelledError:
                 pass
-            self._worker = None
 
     async def drain(self) -> None:
         """Wait until every queued batch has a terminal disposition."""
@@ -230,7 +233,7 @@ class IngestRouter:
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # terminal safety net: park, never drop
-                self._dead_letter(batch, REASON_INTERNAL, repr(exc))
+                await self._dead_letter(batch, REASON_INTERNAL, repr(exc))
                 self.breakers.get(batch.source).record_failure()
             finally:
                 self.queue.task_done()
@@ -245,7 +248,7 @@ class IngestRouter:
             )
         except asyncio.TimeoutError:
             self.metrics.batch_timeouts += 1
-            self._dead_letter(
+            await self._dead_letter(
                 batch, REASON_TIMEOUT,
                 f"validation exceeded "
                 f"{self.config.validate_timeout_seconds:.1f}s",
@@ -254,7 +257,7 @@ class IngestRouter:
             return
 
         if not validation.accepted:
-            self._dead_letter(
+            await self._dead_letter(
                 batch,
                 _VERDICT_REASONS.get(validation.verdict, REASON_INTERNAL),
                 validation.reason,
@@ -273,7 +276,7 @@ class IngestRouter:
             )
         except RetryExhaustedError as exc:
             self.metrics.append_failures += 1
-            self._dead_letter(batch, REASON_APPEND_FAILED, str(exc))
+            await self._dead_letter(batch, REASON_APPEND_FAILED, str(exc))
             breaker.record_failure()
             return
 
@@ -302,7 +305,10 @@ class IngestRouter:
     ) -> None:
         if self._hooks.append_fault is not None:
             self._hooks.append_fault(batch)
-        self.live.append(validation.dataset)
+        # append can trigger a compaction (manifest read + columnar
+        # rewrite): real file I/O, so it runs off the event loop.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.live.append, validation.dataset)
         self.metrics.compactions = self.live.compactions
 
     def _count_retry(
@@ -310,13 +316,20 @@ class IngestRouter:
     ) -> None:
         self.metrics.retries += 1
 
-    def _dead_letter(
+    async def _dead_letter(
         self, batch: IngestBatch, reason: str, error: str
     ) -> None:
+        # Counters first (on-loop, so the accounting invariant holds even
+        # if the parking write below fails); the durable put does disk
+        # I/O and runs in the executor.
         self.metrics.batches_dead_lettered += 1
         self.metrics.tickets_dead_lettered += len(batch.records)
+        loop = asyncio.get_running_loop()
         try:
-            self.dead_letters.put(batch.source, batch.records, reason, error)
+            await loop.run_in_executor(
+                None, self.dead_letters.put,
+                batch.source, batch.records, reason, error,
+            )
         except Exception:  # the parking lot itself failed: keep in memory
             self.dead_letter_failures.append(batch)
 
@@ -327,9 +340,15 @@ class IngestRouter:
         batches replayed; with ``drop`` the replayed entries are removed
         from the store first, so re-parked batches are not duplicated."""
         replayed = 0
-        for entry, records in list(self.dead_letters.iter_batches()):
+        loop = asyncio.get_running_loop()
+        parked = await loop.run_in_executor(
+            None, lambda: list(self.dead_letters.iter_batches())
+        )
+        for entry, records in parked:
             if drop:
-                self.dead_letters.remove(entry.seq)
+                await loop.run_in_executor(
+                    None, self.dead_letters.remove, entry.seq
+                )
             await self.submit_wait(entry.source, records)
             self.metrics.batches_replayed += 1
             replayed += 1
@@ -337,9 +356,10 @@ class IngestRouter:
 
     async def _refresh(self, loop: "asyncio.AbstractEventLoop") -> None:
         """Recompute the headline report over the live snapshot through
-        the analysis cache (off the event loop; the snapshot is taken
-        on-loop so compaction never races a reader)."""
-        snapshot = self.live.current()
+        the analysis cache (off the event loop; ``current()`` may compact
+        pending batches — file I/O — so it runs in the executor too; the
+        single worker task means no other appender can race it)."""
+        snapshot = await loop.run_in_executor(None, self.live.current)
         self.metrics.compactions = self.live.compactions
         started = time.perf_counter()
         cpu0 = time.process_time()

@@ -75,7 +75,8 @@ def test_collect_files_rejects_non_python(tmp_path):
 def test_rule_catalog_is_complete():
     syntactic = {f"RPL00{i}" for i in range(6)}
     dataflow = {f"RPL10{i}" for i in range(1, 5)}
-    assert set(RULES) == syntactic | dataflow
+    effects = {"RPL201", "RPL202", "RPL203", "RPL211", "RPL212", "RPL213"}
+    assert set(RULES) == syntactic | dataflow | effects
 
 
 # ---------------------------------------------------------------------------
@@ -511,7 +512,7 @@ def test_json_reporter_schema(tmp_path, capsys, monkeypatch):
     assert payload["summary"] == {"new": 2, "baselined": 0, "suppressed": 0}
     for finding in payload["findings"]:
         assert set(finding) == {
-            "rule", "path", "line", "col", "message", "fingerprint",
+            "engine", "rule", "path", "line", "col", "message", "fingerprint",
         }
         assert finding["rule"] == "RPL001"
 

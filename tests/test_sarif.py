@@ -167,7 +167,7 @@ def test_sarif_positions_are_one_based():
 
 def test_sarif_carries_baseline_fingerprints():
     payload = to_sarif(FINDINGS, PRINTS)
-    prints = [r["partialFingerprints"]["reprolintFingerprint/v1"]
+    prints = [r["partialFingerprints"]["reprolintFingerprint/v2"]
               for r in payload["runs"][0]["results"]]
     assert prints == ["aaaa", "bbbb"]
 
@@ -233,6 +233,6 @@ def test_sarif_fingerprints_match_lint_result(tmp_path):
     result = run_lint([str(path)], engine="dataflow")
     payload = to_sarif(result.new,
                        dict(zip(result.new, result.new_fingerprints)))
-    emitted = {r["partialFingerprints"]["reprolintFingerprint/v1"]
+    emitted = {r["partialFingerprints"]["reprolintFingerprint/v2"]
                for r in payload["runs"][0]["results"]}
     assert emitted == set(result.new_fingerprints)
