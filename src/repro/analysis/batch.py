@@ -142,26 +142,29 @@ def detect_batches(
         if size < min_failures:
             continue
         window = failures.where(mask)
-        types: Dict[str, int] = {}
-        lines: Dict[str, int] = {}
-        hosts = set()
-        for t in window:
-            types[t.error_type] = types.get(t.error_type, 0) + 1
-            lines[t.product_line] = lines.get(t.product_line, 0) + 1
-            hosts.add(t.host_id)
-        top_type = max(types, key=types.get)
-        top_line = max(lines, key=lines.get)
+        type_codes, type_counts = np.unique(
+            window.error_type_codes, return_counts=True
+        )
+        line_codes, line_counts = np.unique(
+            window.product_line_codes, return_counts=True
+        )
+        top_type = window.error_type_table[
+            int(type_codes[int(np.argmax(type_counts))])
+        ]
+        top_line = window.product_line_table[
+            int(line_codes[int(np.argmax(line_counts))])
+        ]
         events.append(
             BatchEvent(
                 component=component,
                 start=float(window.error_times.min()),
                 end=float(window.error_times.max()),
                 n_failures=size,
-                n_servers=len(hosts),
+                n_servers=int(np.unique(window.host_ids).size),
                 dominant_type=top_type,
-                dominant_type_share=types[top_type] / size,
+                dominant_type_share=int(type_counts.max()) / size,
                 dominant_line=top_line,
-                dominant_line_share=lines[top_line] / size,
+                dominant_line_share=int(line_counts.max()) / size,
             )
         )
     events.sort(key=lambda e: e.n_failures, reverse=True)

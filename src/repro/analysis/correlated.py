@@ -16,7 +16,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.columns import COMPONENT_CODE, COMPONENT_ORDER
 from repro.core.dataset import FOTDataset
+from repro.core.grouping import composite_key, group_slices
 from repro.core.ticket import FOT
 from repro.core.timeutil import day_index
 from repro.core.types import ComponentClass
@@ -53,10 +55,21 @@ class CorrelatedStats:
 def _same_day_pairs(dataset: FOTDataset) -> Dict[Tuple[int, int], set]:
     """(host, day) -> set of component classes failing that day."""
     failures = dataset.failures()
-    days = day_index(failures.error_times).astype(int)
+    days = day_index(failures.error_times).astype(np.int64)
+    # Dedup (host, day, class) triples in numpy, then expand the much
+    # smaller unique set into the dict-of-sets the callers consume.
+    n_classes = len(COMPONENT_ORDER)
+    triples = np.unique(
+        composite_key(failures.host_ids, days) * n_classes
+        + failures.component_codes.astype(np.int64)
+    )
+    day_low = int(days.min()) if days.size else 0
+    day_span = (int(days.max()) - day_low + 1) if days.size else 1
     out: Dict[Tuple[int, int], set] = defaultdict(set)
-    for ticket, day in zip(failures, days):
-        out[(ticket.host_id, int(day))].add(ticket.error_device)
+    for triple in triples:
+        host_day, code = divmod(int(triple), n_classes)
+        host, day = divmod(host_day, day_span)
+        out[(host, day + day_low)].add(COMPONENT_ORDER[code])
     return out
 
 
@@ -130,19 +143,23 @@ def find_pair_examples(
     detection time."""
     failures = dataset.failures()
     wanted = {first_class, second_class}
-    by_host_day: Dict[Tuple[int, int], List[FOT]] = defaultdict(list)
-    days = day_index(failures.error_times).astype(int)
-    for ticket, day in zip(failures, days):
-        if ticket.error_device in wanted:
-            by_host_day[(ticket.host_id, int(day))].append(ticket)
+    wanted_codes = np.array(sorted(COMPONENT_CODE[c] for c in wanted))
+    sub = failures.where(
+        np.isin(failures.component_codes, wanted_codes)
+    )
+    days = day_index(sub.error_times).astype(np.int64)
+    # Groups come back ordered by (host, day) — the same order the old
+    # sorted-dict walk produced.
+    order, starts, stops = group_slices(composite_key(sub.host_ids, days))
 
     examples: List[PairExample] = []
-    for (host, _), tickets in sorted(by_host_day.items()):
-        classes = {t.error_device for t in tickets}
-        if wanted - classes:
+    for start, stop in zip(starts, stops):
+        group = sub.take(order[start:stop])
+        if np.unique(group.component_codes).size < len(wanted):
             continue
-        ordered = sorted(tickets, key=lambda t: t.error_time)
-        first = next(t for t in ordered if t.error_device in wanted)
+        host = int(group.host_ids[0])
+        ordered: List[FOT] = group.sorted_by_time().tickets
+        first = ordered[0]
         second = next(
             t for t in ordered if t.error_device in wanted - {first.error_device}
         )

@@ -26,6 +26,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
+import numpy as np
+
+from repro.core.columns import COMPONENT_CODE
 from repro.core.dataset import FOTDataset
 from repro.core.ticket import FOT
 from repro.core.timeutil import DAY, HOUR
@@ -245,37 +248,42 @@ def component_context(
 ) -> TicketContext:
     """Assemble the operator-facing context for one ticket."""
     horizon = ticket.error_time - history_days * DAY
-    same_component: List[FOT] = []
-    same_server: List[FOT] = []
-    batch_count = 0
-    for other in dataset.failures():
-        if other.fot_id == ticket.fot_id:
-            continue
-        if not (horizon <= other.error_time <= ticket.error_time):
-            if not (
-                other.error_device is ticket.error_device
-                and abs(other.error_time - ticket.error_time)
-                <= batch_window_hours * HOUR
-            ):
-                continue
-        if (
-            other.error_device is ticket.error_device
-            and abs(other.error_time - ticket.error_time)
-            <= batch_window_hours * HOUR
-            and other.host_id != ticket.host_id
-        ):
-            batch_count += 1
-        if other.error_time > ticket.error_time:
-            continue
-        if other.host_id != ticket.host_id:
-            continue
-        same_server.append(other)
-        if (
-            other.error_device is ticket.error_device
-            and other.device_slot == ticket.device_slot
-            and other.error_type == ticket.error_type
-        ):
-            same_component.append(other)
+    failures = dataset.failures()
+    times = failures.error_times
+    not_self = failures.fot_ids != ticket.fot_id
+    same_device = (
+        failures.component_codes == COMPONENT_CODE[ticket.error_device]
+    )
+    batch_like = same_device & (
+        np.abs(times - ticket.error_time) <= batch_window_hours * HOUR
+    )
+    in_window = (times >= horizon) & (times <= ticket.error_time)
+
+    batch_count = int(
+        np.count_nonzero(
+            not_self & batch_like & (failures.host_ids != ticket.host_id)
+        )
+    )
+
+    server_mask = (
+        not_self
+        & (in_window | batch_like)
+        & (times <= ticket.error_time)
+        & (failures.host_ids == ticket.host_id)
+    )
+    same_server = list(failures.where(server_mask).tickets)
+
+    try:
+        type_code = failures.error_type_table.index(ticket.error_type)
+    except ValueError:
+        type_code = -1
+    component_view = failures.where(
+        server_mask
+        & same_device
+        & (failures.device_slots == ticket.device_slot)
+        & (failures.error_type_codes == type_code)
+    )
+    same_component = list(component_view.tickets)
 
     active_batch = None
     if batch_count >= batch_threshold:
@@ -283,8 +291,8 @@ def component_context(
             f"{batch_count} other {ticket.error_device.value} failures "
             f"within {batch_window_hours:.0f} h — possible batch event"
         )
-    recent_repeat = any(
-        ticket.error_time - t.error_time <= 60 * DAY for t in same_component
+    recent_repeat = bool(
+        np.any(ticket.error_time - component_view.error_times <= 60 * DAY)
     )
     return TicketContext(
         ticket=ticket,

@@ -19,8 +19,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.columns import COMPONENT_ORDER
 from repro.core.dataset import FOTDataset
 from repro.core.failure_types import REGISTRY
+from repro.core.grouping import composite_key, group_slices
 from repro.core.timeutil import DAY
 
 
@@ -88,7 +92,9 @@ def issue_warnings(
     counts: Dict[Tuple[int, str], int] = defaultdict(int)
     last_issued: Dict[Tuple[int, str], float] = {}
     out: List[Warning_] = []
-    for ticket in dataset.failures().sorted_by_time():
+    # Each emission depends on counts/last_issued updated by every
+    # prior row, so the walk is inherently sequential.
+    for ticket in dataset.failures().sorted_by_time():  # reprolint: disable=RPL301 -- stateful dedup scan
         if ticket.error_type not in warn_set:
             continue
         key = (ticket.host_id, ticket.error_device.value)
@@ -121,31 +127,47 @@ def evaluate(
         raise ValueError("horizon must be positive")
     horizon = horizon_days * DAY
     fatal = fatal_types()
-    fatal_events: Dict[Tuple[int, str], List[float]] = defaultdict(list)
-    for ticket in dataset.failures():
-        if ticket.error_type in fatal:
-            fatal_events[(ticket.host_id, ticket.error_device.value)].append(
-                ticket.error_time
-            )
-    for times in fatal_events.values():
-        times.sort()
+    failures = dataset.failures()
+    fatal_codes = np.flatnonzero(
+        np.array(
+            [name in fatal for name in failures.error_type_table], dtype=bool
+        )
+    )
+    sub = failures.where(
+        np.isin(failures.error_type_codes, fatal_codes)
+    ).sorted_by_time()
+    # Stable grouping over the time-sorted view keeps each group's
+    # times ascending, so no per-group sort is needed.
+    order, starts, stops = group_slices(
+        composite_key(sub.host_ids, sub.component_codes)
+    )
+    fatal_events: Dict[Tuple[int, str], np.ndarray] = {}
+    for start, stop in zip(starts, stops):
+        rows = order[start:stop]
+        key = (
+            int(sub.host_ids[rows[0]]),
+            COMPONENT_ORDER[int(sub.component_codes[rows[0]])].value,
+        )
+        fatal_events[key] = sub.error_times[rows]
 
+    no_times = np.empty(0)
     n_hits = 0
     lead_times: List[float] = []
     covered: Set[Tuple[int, str, float]] = set()
     for warning in warnings:
-        times = fatal_events.get((warning.host_id, warning.component), [])
+        times = fatal_events.get(
+            (warning.host_id, warning.component), no_times
+        )
+        idx = int(np.searchsorted(times, warning.issued_at, side="right"))
         hit: Optional[float] = None
-        for t in times:
-            if warning.issued_at < t <= warning.issued_at + horizon:
-                hit = t
-                break
+        if idx < times.size and times[idx] <= warning.issued_at + horizon:
+            hit = float(times[idx])
         if hit is not None:
             n_hits += 1
             lead_times.append(hit - warning.issued_at)
             covered.add((warning.host_id, warning.component, hit))
 
-    n_fatal = sum(len(v) for v in fatal_events.values())
+    n_fatal = int(len(sub))
     mean_lead = (
         sum(lead_times) / len(lead_times) / DAY if lead_times else 0.0
     )

@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.core.dataset import FOTDataset
+from repro.core.grouping import group_slices
 from repro.core.timeutil import DAY
 from repro.core.ticket import FOT
 from repro.core.types import FOTCategory
@@ -92,7 +93,9 @@ def repeat_chains(
         raise ValueError("window_days must be positive")
     window = window_days * DAY
     by_key: Dict[RepeatKey, List[FOT]] = defaultdict(list)
-    for ticket in dataset.failures().sorted_by_time():
+    # The chain splitter consumes every FOT object (category flags,
+    # per-occurrence gaps), so materializing each row once IS the work.
+    for ticket in dataset.failures().sorted_by_time():  # reprolint: disable=RPL301 -- chain splitter consumes each FOT object
         by_key[_repeat_key(ticket)].append(ticket)
 
     chains: Dict[RepeatKey, List[FOT]] = {}
@@ -175,19 +178,21 @@ def synchronous_groups(
     if window_seconds <= 0:
         raise ValueError("window must be positive")
     failures = dataset.failures()
-    times_by_host: Dict[int, List[float]] = defaultdict(list)
-    for ticket in failures:
-        times_by_host[ticket.host_id].append(ticket.error_time)
-    eligible = {
-        host: times
-        for host, times in times_by_host.items()
-        if len(times) >= min_failures
-    }
+    order, starts, stops = group_slices(failures.host_ids)
+    eligible: Dict[int, np.ndarray] = {}
+    for start, stop in zip(starts, stops):
+        if stop - start < min_failures:
+            continue
+        rows = order[start:stop]
+        eligible[int(failures.host_ids[rows[0]])] = failures.error_times[
+            rows
+        ]
 
     bucket_hosts: Dict[int, set] = defaultdict(set)
-    for host, times in eligible.items():
-        for t in times:
-            bucket_hosts[int(t // window_seconds)].add(host)
+    for host, host_times in eligible.items():
+        buckets = np.unique((host_times // window_seconds).astype(np.int64))
+        for b in buckets:
+            bucket_hosts[int(b)].add(host)
 
     pair_buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
     for bucket, hosts in bucket_hosts.items():

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.dataset import FOTDataset
+from repro.core.grouping import composite_key
 from repro.core.timeutil import MONTH, YEAR
 from repro.core.types import ComponentClass
 from repro.fleet.inventory import Inventory
@@ -64,13 +65,19 @@ def _first_failure_ages(
     dataset: FOTDataset, component: ComponentClass
 ) -> Dict[Tuple[int, int], float]:
     """(host, slot) -> age in months at first failure."""
-    ages: Dict[Tuple[int, int], float] = {}
-    for ticket in dataset.failures().of_component(component).sorted_by_time():
-        key = (ticket.host_id, ticket.device_slot)
-        if key in ages:
-            continue
-        ages[key] = (ticket.error_time - ticket.deployed_at) / MONTH
-    return ages
+    sub = dataset.failures().of_component(component).sorted_by_time()
+    hosts = sub.host_ids
+    slots = sub.device_slots
+    if hosts.size == 0:
+        return {}
+    # np.unique returns the index of the *first* occurrence of each
+    # key; the view is time-sorted, so that is the earliest failure.
+    _, first = np.unique(composite_key(hosts, slots), return_index=True)
+    ages_months = (sub.error_times - sub.deployed_ats) / MONTH
+    return {
+        (int(hosts[i]), int(slots[i])): float(ages_months[i])
+        for i in first
+    }
 
 
 def kaplan_meier(

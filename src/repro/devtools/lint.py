@@ -25,10 +25,19 @@ The engine participates in the fingerprint so an AST-engine baseline
 entry can never mask a dataflow/effects finding at the same location.
 New code starts from an empty baseline.
 
-**Engines** are cumulative: ``ast`` ⊂ ``dataflow`` ⊂ ``effects`` —
-``--engine effects`` runs the syntactic rules, the
-abstract-interpretation pass, *and* the concurrency/resource-safety
-pass, so one SARIF upload covers the whole catalog.
+**Engines** are cumulative: ``ast`` ⊂ ``dataflow`` ⊂ ``effects`` ⊂
+``perf`` — ``--engine perf`` runs the syntactic rules, the
+abstract-interpretation pass, the concurrency/resource-safety pass,
+*and* the scale-hazard pass (RPL301–305 over the hot packages), so one
+SARIF upload covers the whole catalog.
+
+**Fixes**: rules may attach span-based rewrites to findings;
+``--fix`` applies them (looping lint→fix until stable, so a second
+``--fix`` is always a no-op) and SARIF output carries them as
+``fixes`` for IDE quick-fix surfaces.  ``--update-baseline`` rewrites
+the baseline keeping only fingerprints that still match a current
+finding — entries for deleted files or fixed findings are pruned and
+counted, and no new debt is ever added silently.
 
 ``--changed-since <ref>`` restricts *reported* findings to files that
 differ from a git ref (analysis still sees the whole tree, so
@@ -55,7 +64,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.devtools.rules import RULES, Finding, Project, check_file
 
-ENGINES = ("ast", "dataflow", "effects")
+ENGINES = ("ast", "dataflow", "effects", "perf")
 
 BASELINE_VERSION = 2
 JSON_VERSION = 1
@@ -237,6 +246,22 @@ def load_baseline(path: Path) -> "set[str]":
     return {entry["fingerprint"] for entry in payload.get("findings", [])}
 
 
+def load_baseline_entries(path: Path) -> List[Dict[str, object]]:
+    """Full baseline entries (fingerprint + provenance), for pruning."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return []
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"reprolint: unreadable baseline {path}: {exc}") from exc
+    if payload.get("version") != BASELINE_VERSION:
+        raise SystemExit(
+            f"reprolint: baseline {path} has unsupported version "
+            f"{payload.get('version')!r}"
+        )
+    return list(payload.get("findings", []))
+
+
 def write_baseline(path: Path, findings: Sequence[Finding],
                    prints: Sequence[str]) -> None:
     payload = {
@@ -295,12 +320,14 @@ def checked_rules_for(engine: str) -> "Set[str]":
     the set are left alone rather than reported unused."""
     checked = {
         rule for rule in RULES
-        if not rule.startswith(("RPL1", "RPL2"))
+        if not rule.startswith(("RPL1", "RPL2", "RPL3"))
     }
-    if engine in ("dataflow", "effects"):
+    if engine in ("dataflow", "effects", "perf"):
         checked |= {rule for rule in RULES if rule.startswith("RPL1")}
-    if engine == "effects":
+    if engine in ("effects", "perf"):
         checked |= {rule for rule in RULES if rule.startswith("RPL2")}
+    if engine == "perf":
+        checked |= {rule for rule in RULES if rule.startswith("RPL3")}
     return checked
 
 
@@ -315,8 +342,11 @@ def run_lint(paths: Sequence[str],
     (:mod:`repro.devtools.dataflow`): RPL101–104 plus interprocedural
     RPL001/002 call-site findings; ``"effects"`` additionally runs the
     concurrency & resource-safety pass
-    (:mod:`repro.devtools.effects`): RPL201–213.  Suppression and
-    baseline handling are identical for all engines.
+    (:mod:`repro.devtools.effects`): RPL201–213; ``"perf"``
+    additionally runs the scale-hazard pass
+    (:mod:`repro.devtools.perf_rules`): RPL301–305 over the hot
+    packages.  Suppression and baseline handling are identical for all
+    engines.
 
     ``restrict_to`` (resolved posix paths) limits *reported* findings
     to those files — interprocedural summaries are still built from
@@ -340,11 +370,11 @@ def run_lint(paths: Sequence[str],
     project = Project(trees)
     dataflow_project = None
     effects_project = None
-    if engine in ("dataflow", "effects"):
+    if engine in ("dataflow", "effects", "perf"):
         from repro.devtools.dataflow import DataflowProject
 
         dataflow_project = DataflowProject(trees)
-    if engine == "effects":
+    if engine in ("effects", "perf"):
         from repro.devtools.effects import EffectsProject
 
         effects_project = EffectsProject(trees)
@@ -370,6 +400,14 @@ def run_lint(paths: Sequence[str],
 
             raw_findings = raw_findings + analyze_effects(
                 path, trees[path], effects_project
+            )
+        if engine == "perf":
+            from repro.devtools.perf_rules import (
+                analyze_module as analyze_perf,
+            )
+
+            raw_findings = raw_findings + analyze_perf(
+                path, trees[path], dataflow_project
             )
         raw_findings = sorted(
             raw_findings,
@@ -470,11 +508,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="record current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline keeping only fingerprints that "
+             "still match a current finding (prunes entries for "
+             "deleted files and fixed findings, reports the counts, "
+             "never adds new debt) and exit 0",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply machine-attached fixes (looping lint→fix until "
+             "stable), then report what remains; a second --fix run "
+             "is a no-op",
+    )
+    parser.add_argument(
         "--engine", choices=ENGINES, default="ast",
         help="'ast' runs the syntactic rules; 'dataflow' adds the "
              "abstract-interpretation analyses (RPL101-104 and "
              "interprocedural RPL001/002); 'effects' additionally adds "
-             "the concurrency & resource-safety analyses (RPL201-213)",
+             "the concurrency & resource-safety analyses (RPL201-213); "
+             "'perf' additionally adds the scale-hazard analyses "
+             "(RPL301-305 over the hot packages)",
     )
     parser.add_argument(
         "--changed-since", default=None, metavar="REF",
@@ -500,18 +553,34 @@ def build_parser() -> argparse.ArgumentParser:
 def changed_files(ref: str) -> "Set[str]":
     """Resolved posix paths of files changed vs ``ref`` — tracked
     modifications plus untracked (not-ignored) files, so a new module
-    is linted on the PR that introduces it."""
+    is linted on the PR that introduces it.
+
+    Degrades gracefully (message + usage exit status 2) when the ref
+    does not resolve — not a git repo, a repo with no commits yet, or
+    a typo'd ref — instead of surfacing a raw git traceback.
+    """
     import subprocess
 
     def _git(*argv: str) -> str:
-        proc = subprocess.run(
-            ["git", *argv], capture_output=True, text=True,
-        )
-        if proc.returncode != 0:
-            raise SystemExit(
-                f"reprolint: git {' '.join(argv)} failed: "
-                f"{proc.stderr.strip() or proc.returncode}"
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True,
             )
+        except OSError as exc:  # git binary missing
+            print(f"reprolint: --changed-since {ref!r}: cannot run "
+                  f"git: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            reason = detail[0] if detail else f"git exited {proc.returncode}"
+            print(
+                f"reprolint: --changed-since {ref!r}: {reason}\n"
+                "reprolint: the ref must resolve in a git repository "
+                "with at least one commit; try 'git log --oneline -1' "
+                "to check",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
         return proc.stdout
 
     top = Path(_git("rev-parse", "--show-toplevel").strip())
@@ -552,6 +621,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
+    if args.update_baseline:
+        target = baseline or Path(DEFAULT_BASELINE)
+        entries = load_baseline_entries(target)
+        result = run_lint(args.paths, baseline=None, engine=args.engine,
+                          restrict_to=restrict)
+        old_prints = {entry["fingerprint"] for entry in entries}
+        kept = [
+            (finding, print_)
+            for finding, print_ in zip(result.new, result.new_fingerprints)
+            if print_ in old_prints
+        ]
+        kept_prints = {print_ for _, print_ in kept}
+        gone_files = sum(
+            1 for entry in entries
+            if entry["fingerprint"] not in kept_prints
+            and not Path(str(entry.get("path", ""))).exists()
+        )
+        stale = len(entries) - len(kept) - gone_files
+        write_baseline(target, [f for f, _ in kept],
+                       [p for _, p in kept])
+        print(
+            f"reprolint: baseline {target} updated — kept {len(kept)} "
+            f"entr{'y' if len(kept) == 1 else 'ies'}, pruned "
+            f"{gone_files} for missing files, {stale} no longer "
+            "matching any finding"
+        )
+        return 0
+
+    if args.fix:
+        from repro.devtools.fixer import fix_paths
+
+        fixed = fix_paths(args.paths, baseline=baseline,
+                          engine=args.engine, restrict_to=restrict)
+        note = (
+            f"reprolint: applied {fixed.applied} fix(es) in "
+            f"{len(fixed.files)} file(s) over {fixed.passes} pass(es)"
+        )
+        if fixed.cycle:
+            note += " — WARNING: fixable findings remain (fix cycle?)"
+        print(note)
+
     result = run_lint(args.paths, baseline=baseline, engine=args.engine,
                       restrict_to=restrict)
     if args.fmt == "json":
@@ -579,6 +689,7 @@ __all__ = [
     "checked_rules_for",
     "run_lint",
     "load_baseline",
+    "load_baseline_entries",
     "write_baseline",
     "collect_files",
     "main",

@@ -62,7 +62,48 @@ RULES: Dict[str, str] = {
     "RPL211": "pool captures: process-pool work must not capture mutable/unpicklable/unseeded-RNG state",
     "RPL212": "resource lifetime: files/mmaps need a context manager, close, or finalizer; buffers must not outlive their backing store",
     "RPL213": "atomic writes: durable files are written via write-then-rename, never in place",
+    # Scale-hazard rules implemented by the perf engine
+    # (repro.devtools.perf_rules, --engine=perf).
+    "RPL301": "perf: no Python-level iteration over dataset rows/columns where a vectorized op exists",
+    "RPL302": "perf: no array growth inside loops (np.append/concatenate accumulation, append-then-np.array)",
+    "RPL303": "perf: no redundant materialization (np.asarray of an array, .tolist() on hot paths)",
+    "RPL304": "perf: no quadratic patterns (list membership in loops, nested dataset-scale loops, per-iteration sorts)",
+    "RPL305": "perf: no loop-invariant recomputation of expensive calls (fingerprints, group-bys, ppf/gamma math)",
 }
+
+
+@dataclasses.dataclass(frozen=True)
+class Edit:
+    """One span replacement in a source file.
+
+    Spans use 1-based lines and 0-based columns (AST coordinates); the
+    replacement text substitutes the half-open region
+    ``[(start_line, start_col), (end_line, end_col))``.
+    """
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    @property
+    def start(self) -> Tuple[int, int]:
+        return (self.start_line, self.start_col)
+
+    @property
+    def end(self) -> Tuple[int, int]:
+        return (self.end_line, self.end_col)
+
+
+@dataclasses.dataclass(frozen=True)
+class Fix:
+    """A machine-applicable fix: a description plus one or more edits
+    in the finding's own file.  Applied by ``fouryears lint --fix``
+    (:mod:`repro.devtools.fixer`) and surfaced as SARIF ``fixes``."""
+
+    description: str
+    edits: Tuple[Edit, ...]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,9 +111,11 @@ class Finding:
     """One linter finding, anchored to a file position.
 
     ``engine`` names the analysis family that produced the finding
-    (``"ast"``, ``"dataflow"`` or ``"effects"``); it participates in the
-    baseline fingerprint so a finding accepted under one engine can
-    never mask a different engine's finding at the same location.
+    (``"ast"``, ``"dataflow"``, ``"effects"`` or ``"perf"``); it
+    participates in the baseline fingerprint so a finding accepted
+    under one engine can never mask a different engine's finding at the
+    same location.  ``fix`` optionally carries a machine-applicable
+    rewrite (it does not participate in fingerprints).
     """
 
     rule: str
@@ -81,6 +124,7 @@ class Finding:
     col: int
     message: str
     engine: str = "ast"
+    fix: Optional[Fix] = None
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -1062,7 +1106,9 @@ def check_file(path: Path, tree: ast.Module, project: Project) -> List[Finding]:
 
 __all__ = [
     "RULES",
+    "Edit",
     "Finding",
+    "Fix",
     "Project",
     "SCHEMA_FIELDS",
     "COLUMN_PROPERTIES",

@@ -35,8 +35,40 @@ def _rule_descriptor(rule_id: str, description: str) -> Dict:
     }
 
 
-def _result(finding: Finding, fingerprint: str) -> Dict:
+def _fix(finding: Finding) -> Dict:
+    """SARIF ``fix`` object for a finding's machine-attached rewrite.
+
+    Regions are 1-based in SARIF; :class:`~repro.devtools.rules.Edit`
+    columns are 0-based character offsets.
+    """
+    fix = finding.fix
     return {
+        "description": {"text": fix.description},
+        "artifactChanges": [
+            {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "replacements": [
+                    {
+                        "deletedRegion": {
+                            "startLine": edit.start_line,
+                            "startColumn": edit.start_col + 1,
+                            "endLine": edit.end_line,
+                            "endColumn": edit.end_col + 1,
+                        },
+                        "insertedContent": {"text": edit.replacement},
+                    }
+                    for edit in fix.edits
+                ],
+            }
+        ],
+    }
+
+
+def _result(finding: Finding, fingerprint: str) -> Dict:
+    result = {
         "ruleId": finding.rule,
         "level": "error",
         "message": {"text": finding.message},
@@ -60,6 +92,9 @@ def _result(finding: Finding, fingerprint: str) -> Dict:
         # too, so dedup is engine-aware across analysis families.
         "partialFingerprints": {"reprolintFingerprint/v2": fingerprint},
     }
+    if finding.fix is not None:
+        result["fixes"] = [_fix(finding)]
+    return result
 
 
 def to_sarif(findings: Iterable[Finding],
@@ -155,6 +190,18 @@ def validate_sarif(payload: Dict) -> List[str]:
                        .get("artifactLocation", {}).get("uri"))
                 need(isinstance(uri, str) and uri,
                      f"{where}.locations[{k}] artifactLocation.uri required")
+            for k, fix in enumerate(result.get("fixes", [])):
+                need(isinstance(fix.get("description", {}).get("text"), str),
+                     f"{where}.fixes[{k}].description.text required")
+                for change in fix.get("artifactChanges", []):
+                    for m, repl in enumerate(change.get("replacements", [])):
+                        region = repl.get("deletedRegion", {})
+                        for key in ("startLine", "startColumn",
+                                    "endLine", "endColumn"):
+                            value = region.get(key)
+                            need(isinstance(value, int) and value >= 1,
+                                 f"{where}.fixes[{k}] replacement[{m}] "
+                                 f"deletedRegion.{key} must be a 1-based int")
     return problems
 
 
